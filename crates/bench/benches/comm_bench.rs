@@ -1,0 +1,122 @@
+//! Bandwidth-centric partitioning micro-benchmark (paper Sec. 6.1,
+//! Fig. 6c).
+//!
+//! Compares the two ways of getting an offloaded parameter to every GPU:
+//! * **broadcast-based** (ZeRO-Offload style): one owner materializes the
+//!   full parameter, everyone else receives it;
+//! * **allgather-based** (ZeRO-Infinity): every rank contributes its
+//!   1/dp shard.
+//!
+//! With real NCCL the volumes match; the win in the paper comes from the
+//! slow-memory hop. Here we attach that hop: the owner (broadcast) reads
+//! the whole parameter from the shared in-memory NVMe device, while the
+//! allgather path reads only 1/dp per rank, in parallel.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use zi_comm::CommGroup;
+use zi_nvme::{MemBackend, NvmeEngine, StorageBackend};
+
+const PARAM_BYTES: usize = 1 << 20;
+
+fn run_world(world: usize, broadcast: bool, eng: &Arc<NvmeEngine>) {
+    let group = CommGroup::new(world);
+    let mut handles = Vec::new();
+    for (rank, comm) in group.communicators().into_iter().enumerate() {
+        let eng = Arc::clone(eng);
+        handles.push(std::thread::spawn(move || {
+            if broadcast {
+                // Rank 0 reads the full parameter from slow memory, then
+                // broadcasts.
+                let payload = if rank == 0 {
+                    let t = eng.submit_read(0, PARAM_BYTES);
+                    eng.wait(t).unwrap().unwrap()
+                } else {
+                    Vec::new()
+                };
+                let out = comm.broadcast_bytes(0, &payload);
+                criterion::black_box(out.len());
+            } else {
+                // Every rank reads its own shard in parallel, then
+                // allgathers.
+                let shard = PARAM_BYTES / world;
+                let t = eng.submit_read((rank * shard) as u64, shard);
+                let mine = eng.wait(t).unwrap().unwrap();
+                let out = comm.allgather_bytes(&mine);
+                criterion::black_box(out.len());
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn bench_fetch_styles(c: &mut Criterion) {
+    let backend = Arc::new(MemBackend::new());
+    backend.write_at(0, &vec![3u8; PARAM_BYTES]).unwrap();
+    let eng = Arc::new(NvmeEngine::new(
+        Arc::clone(&backend) as Arc<dyn StorageBackend>,
+        8,
+    ));
+
+    let mut group = c.benchmark_group("offload_fetch");
+    group.throughput(Throughput::Bytes(PARAM_BYTES as u64));
+    group.sample_size(10);
+    for world in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("broadcast", world),
+            &world,
+            |b, &w| b.iter(|| run_world(w, true, &eng)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("allgather", world),
+            &world,
+            |b, &w| b.iter(|| run_world(w, false, &eng)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collectives_world4");
+    group.sample_size(10);
+    let n = 1 << 16;
+    group.throughput(Throughput::Bytes((n * 4) as u64));
+    group.bench_function("reduce_scatter", |b| {
+        b.iter(|| {
+            let g = CommGroup::new(4);
+            let mut handles = Vec::new();
+            for comm in g.communicators() {
+                handles.push(std::thread::spawn(move || {
+                    let data = vec![1.0f32; n];
+                    criterion::black_box(comm.reduce_scatter_sum(&data).len());
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    });
+    group.bench_function("allreduce", |b| {
+        b.iter(|| {
+            let g = CommGroup::new(4);
+            let mut handles = Vec::new();
+            for comm in g.communicators() {
+                handles.push(std::thread::spawn(move || {
+                    let mut data = vec![1.0f32; n];
+                    comm.allreduce_sum(&mut data);
+                    criterion::black_box(data[0]);
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fetch_styles, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! DeepNVMe benchmarks (paper Sec. 6.3).
+//!
+//! Measures the async I/O engine's sequential read/write throughput on a
+//! real file as worker parallelism grows — the "aggressive
+//! parallelization of I/O requests" claim — and the cost of the flush
+//! barrier.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use zi_nvme::{FileBackend, NvmeEngine, StorageBackend};
+
+const BLOCK: usize = 256 * 1024;
+const BLOCKS: usize = 32;
+
+fn engine(workers: usize, dir: &std::path::Path) -> NvmeEngine {
+    let backend =
+        Arc::new(FileBackend::create(&dir.join(format!("bench_{workers}.dev"))).unwrap());
+    NvmeEngine::new(backend as Arc<dyn StorageBackend>, workers)
+}
+
+fn bench_write_throughput(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("zi_nvme_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut group = c.benchmark_group("nvme_write");
+    group.throughput(Throughput::Bytes((BLOCK * BLOCKS) as u64));
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        let eng = engine(workers, &dir);
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+            b.iter(|| {
+                for i in 0..BLOCKS {
+                    eng.submit_write((i * BLOCK) as u64, vec![i as u8; BLOCK]);
+                }
+                eng.flush().unwrap();
+            });
+        });
+    }
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn bench_read_throughput(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("zi_nvme_benchr_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut group = c.benchmark_group("nvme_read");
+    group.throughput(Throughput::Bytes((BLOCK * BLOCKS) as u64));
+    group.sample_size(10);
+    for workers in [1usize, 4, 8] {
+        let eng = engine(workers, &dir);
+        for i in 0..BLOCKS {
+            eng.submit_write((i * BLOCK) as u64, vec![i as u8; BLOCK]);
+        }
+        eng.flush().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, _| {
+            b.iter(|| {
+                let reqs: Vec<(u64, usize)> =
+                    (0..BLOCKS).map(|i| ((i * BLOCK) as u64, BLOCK)).collect();
+                let tickets = eng.submit_read_bulk(&reqs);
+                for t in tickets {
+                    let buf = eng.wait(t).unwrap().unwrap();
+                    criterion::black_box(buf);
+                }
+            });
+        });
+    }
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Bulk submission (async, overlapped) vs one-at-a-time synchronous
+/// round trips: the asynchrony claim.
+fn bench_bulk_vs_serial(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("zi_nvme_benchs_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let eng = engine(4, &dir);
+    for i in 0..BLOCKS {
+        eng.submit_write((i * BLOCK) as u64, vec![7u8; BLOCK]);
+    }
+    eng.flush().unwrap();
+
+    let mut group = c.benchmark_group("nvme_submit_style");
+    group.throughput(Throughput::Bytes((BLOCK * BLOCKS) as u64));
+    group.sample_size(10);
+    group.bench_function("bulk_async", |b| {
+        b.iter(|| {
+            let reqs: Vec<(u64, usize)> =
+                (0..BLOCKS).map(|i| ((i * BLOCK) as u64, BLOCK)).collect();
+            for t in eng.submit_read_bulk(&reqs) {
+                criterion::black_box(eng.wait(t).unwrap());
+            }
+        });
+    });
+    group.bench_function("serial_sync", |b| {
+        b.iter(|| {
+            for i in 0..BLOCKS {
+                let t = eng.submit_read((i * BLOCK) as u64, BLOCK);
+                criterion::black_box(eng.wait(t).unwrap());
+            }
+        });
+    });
+    group.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+criterion_group!(benches, bench_write_throughput, bench_read_throughput, bench_bulk_vs_serial);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Optimizer-path benchmarks (paper Sec. 5.2.2 and 6.3).
+//!
+//! * Chunked Adam streaming: chunk-size sweep over an NVMe-resident
+//!   optimizer shard (the CPU-memory-bounded step).
+//! * Pinned-buffer reuse vs per-transfer allocation (the pinned memory
+//!   management layer's fragmentation-avoidance claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use zi_memory::PinnedBufferPool;
+use zi_optim::{AdamConfig, AdamShard};
+
+const SHARD: usize = 1 << 18; // 256k elements ≈ 3 MB of optimizer state
+
+fn bench_chunked_adam(c: &mut Criterion) {
+    let cfg = AdamConfig::default();
+    let init: Vec<f32> = (0..SHARD).map(|i| (i % 97) as f32 * 0.01).collect();
+    let grad: Vec<f32> = (0..SHARD).map(|i| ((i % 31) as f32 - 15.0) * 0.01).collect();
+
+    let mut group = c.benchmark_group("adam_step");
+    group.throughput(Throughput::Elements(SHARD as u64));
+    group.sample_size(20);
+    for chunk in [1usize << 12, 1 << 14, 1 << 16, usize::MAX] {
+        let label = if chunk == usize::MAX { "monolithic".into() } else { format!("{chunk}") };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &chunk, |b, &chunk| {
+            let mut shard = AdamShard::new(&init);
+            b.iter(|| {
+                shard.begin_step();
+                let mut start = 0;
+                while start < SHARD {
+                    let len = chunk.min(SHARD - start);
+                    shard.step_chunk(&cfg, start, &grad[start..start + len]);
+                    start += len;
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pinned_reuse(c: &mut Criterion) {
+    const BUF: usize = 1 << 20;
+    let mut group = c.benchmark_group("staging_buffers");
+    group.throughput(Throughput::Bytes((BUF * 16) as u64));
+    group.sample_size(20);
+    group.bench_function("pooled_reuse", |b| {
+        let pool = PinnedBufferPool::new(4, BUF);
+        b.iter(|| {
+            for i in 0..16u8 {
+                let mut buf = pool.acquire();
+                buf.as_mut_slice()[0] = i;
+                criterion::black_box(buf.as_slice()[0]);
+            }
+        });
+    });
+    group.bench_function("fresh_alloc", |b| {
+        b.iter(|| {
+            for i in 0..16u8 {
+                let mut buf = vec![0u8; BUF];
+                buf[0] = i;
+                criterion::black_box(buf[0]);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chunked_adam, bench_pinned_reuse);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+#![warn(missing_docs)]
+
+//! Benchmark harness support: shared workload builders and the
+//! real-engine Fig. 6b experiment (memory-centric tiling under
+//! fragmentation), used by both the `repro` binary and the Criterion
+//! benches.
+
+pub mod fig6b;
+pub mod report;
+
+pub use fig6b::{max_hidden_size, Fig6bRow};

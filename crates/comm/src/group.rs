@@ -1,0 +1,344 @@
+//! Shared-memory process group and collectives.
+//!
+//! One OS thread per data-parallel rank. Every collective is a two-barrier
+//! exchange through a shared slot table: ranks deposit their contribution,
+//! synchronize, read what they need, and synchronize again before the slots
+//! can be reused. As in MPI/NCCL, all ranks must issue the same collectives
+//! in the same order; a rank that skips a collective deadlocks the group
+//! (by design — that is a bug in the training loop).
+
+use std::sync::{Arc, Barrier};
+
+use parking_lot::Mutex;
+use zi_types::{Rank, WorldSize};
+
+use crate::partition::partition_range;
+use crate::traffic::TrafficStats;
+
+struct Shared {
+    world: WorldSize,
+    barrier: Barrier,
+    byte_slots: Mutex<Vec<Vec<u8>>>,
+    f32_slots: Mutex<Vec<Vec<f32>>>,
+    traffic: TrafficStats,
+}
+
+/// A communicator group spanning `world` ranks.
+#[derive(Clone)]
+pub struct CommGroup {
+    shared: Arc<Shared>,
+}
+
+impl CommGroup {
+    /// Create a group for `world` ranks.
+    pub fn new(world: WorldSize) -> Self {
+        assert!(world > 0, "world size must be positive");
+        CommGroup {
+            shared: Arc::new(Shared {
+                world,
+                barrier: Barrier::new(world),
+                byte_slots: Mutex::new(vec![Vec::new(); world]),
+                f32_slots: Mutex::new(vec![Vec::new(); world]),
+                traffic: TrafficStats::default(),
+            }),
+        }
+    }
+
+    /// Handle for one rank. Each rank's handle must be used by exactly one
+    /// thread.
+    pub fn communicator(&self, rank: Rank) -> Communicator {
+        assert!(rank < self.shared.world, "rank {rank} out of world {}", self.shared.world);
+        Communicator { shared: Arc::clone(&self.shared), rank }
+    }
+
+    /// All communicators, in rank order — convenient for spawning.
+    pub fn communicators(&self) -> Vec<Communicator> {
+        (0..self.shared.world).map(|r| self.communicator(r)).collect()
+    }
+
+    /// Shared traffic counters.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.shared.traffic
+    }
+
+    /// World size of the group.
+    pub fn world_size(&self) -> WorldSize {
+        self.shared.world
+    }
+}
+
+/// Per-rank endpoint of a [`CommGroup`].
+pub struct Communicator {
+    shared: Arc<Shared>,
+    rank: Rank,
+}
+
+impl Communicator {
+    /// This rank.
+    #[inline]
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Number of ranks in the group.
+    #[inline]
+    pub fn world_size(&self) -> WorldSize {
+        self.shared.world
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    /// Broadcast `data` from `root` to every rank. Non-root callers pass
+    /// any slice (ignored) and receive the root's bytes.
+    pub fn broadcast_bytes(&self, root: Rank, data: &[u8]) -> Vec<u8> {
+        assert!(root < self.shared.world, "broadcast root out of range");
+        if self.rank == root {
+            self.shared.byte_slots.lock()[root] = data.to_vec();
+        }
+        self.barrier();
+        let out = self.shared.byte_slots.lock()[root].clone();
+        self.barrier();
+        if self.rank == root {
+            // Logical ring broadcast: root's payload traverses w-1 links.
+            let bytes = out.len() as u64 * (self.shared.world as u64 - 1);
+            self.shared.traffic.record(&self.shared.traffic.broadcast_bytes, bytes);
+        }
+        out
+    }
+
+    /// Gather every rank's `shard` and concatenate in rank order.
+    pub fn allgather_bytes(&self, shard: &[u8]) -> Vec<u8> {
+        self.shared.byte_slots.lock()[self.rank] = shard.to_vec();
+        self.barrier();
+        let slots = self.shared.byte_slots.lock();
+        let total: usize = slots.iter().map(|s| s.len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for s in slots.iter() {
+            out.extend_from_slice(s);
+        }
+        drop(slots);
+        self.barrier();
+        // Each rank receives (w-1) shards; count this rank's received bytes.
+        let bytes = (out.len() - shard.len()) as u64;
+        self.shared.traffic.record(&self.shared.traffic.allgather_bytes, bytes);
+        out
+    }
+
+    /// Element-wise sum of every rank's equal-length `data`, returning this
+    /// rank's partition of the reduced vector (per [`partition_range`]).
+    pub fn reduce_scatter_sum(&self, data: &[f32]) -> Vec<f32> {
+        self.shared.f32_slots.lock()[self.rank] = data.to_vec();
+        self.barrier();
+        let slots = self.shared.f32_slots.lock();
+        let len = slots[0].len();
+        assert!(
+            slots.iter().all(|s| s.len() == len),
+            "reduce_scatter_sum requires equal contribution lengths"
+        );
+        let range = partition_range(len, self.shared.world, self.rank);
+        let mut out = vec![0f32; range.len()];
+        for s in slots.iter() {
+            for (o, v) in out.iter_mut().zip(&s[range.clone()]) {
+                *o += v;
+            }
+        }
+        drop(slots);
+        self.barrier();
+        let bytes = (data.len() * 4) as u64 * (self.shared.world as u64 - 1)
+            / self.shared.world as u64;
+        self.shared.traffic.record(&self.shared.traffic.reduce_scatter_bytes, bytes);
+        out
+    }
+
+    /// Element-wise sum across ranks, leaving the full reduced vector in
+    /// `data` on every rank.
+    pub fn allreduce_sum(&self, data: &mut [f32]) {
+        self.shared.f32_slots.lock()[self.rank] = data.to_vec();
+        self.barrier();
+        {
+            let slots = self.shared.f32_slots.lock();
+            let len = slots[0].len();
+            assert!(
+                slots.iter().all(|s| s.len() == len),
+                "allreduce_sum requires equal contribution lengths"
+            );
+            for v in data.iter_mut() {
+                *v = 0.0;
+            }
+            for s in slots.iter() {
+                for (o, v) in data.iter_mut().zip(s.iter()) {
+                    *o += v;
+                }
+            }
+        }
+        self.barrier();
+        let bytes =
+            2 * (data.len() * 4) as u64 * (self.shared.world as u64 - 1) / self.shared.world as u64;
+        self.shared.traffic.record(&self.shared.traffic.allreduce_bytes, bytes);
+    }
+
+    /// Sum a scalar across ranks (e.g. for loss averaging).
+    pub fn sum_scalar(&self, v: f32) -> f32 {
+        let mut buf = [v];
+        self.allreduce_sum(&mut buf);
+        buf[0]
+    }
+
+    /// Shared traffic counters.
+    pub fn traffic_total_bytes(&self) -> u64 {
+        self.shared.traffic.total_bytes()
+    }
+}
+
+// Communicator handles move to their rank thread.
+unsafe impl Send for Communicator {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::thread;
+
+    /// Run `f(rank, comm)` on one thread per rank and collect results.
+    fn run_ranks<T: Send + 'static>(
+        world: usize,
+        f: impl Fn(Rank, Communicator) -> T + Send + Sync + 'static,
+    ) -> Vec<T> {
+        let group = CommGroup::new(world);
+        let f = Arc::new(f);
+        let mut handles = Vec::new();
+        for (rank, comm) in group.communicators().into_iter().enumerate() {
+            let f = Arc::clone(&f);
+            handles.push(thread::spawn(move || f(rank, comm)));
+        }
+        handles.into_iter().map(|h| h.join().expect("rank thread")).collect()
+    }
+
+    #[test]
+    fn broadcast_delivers_root_payload() {
+        let results = run_ranks(4, |rank, comm| {
+            let payload = if rank == 2 { vec![9u8, 8, 7] } else { vec![] };
+            comm.broadcast_bytes(2, &payload)
+        });
+        for r in results {
+            assert_eq!(r, vec![9, 8, 7]);
+        }
+    }
+
+    #[test]
+    fn allgather_concatenates_in_rank_order() {
+        let results = run_ranks(3, |rank, comm| {
+            let shard = vec![rank as u8; 2];
+            comm.allgather_bytes(&shard)
+        });
+        for r in results {
+            assert_eq!(r, vec![0, 0, 1, 1, 2, 2]);
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_sums_and_partitions() {
+        let world = 4;
+        let results = run_ranks(world, move |rank, comm| {
+            // Each rank contributes [rank, rank, ...] of length 8.
+            let data = vec![rank as f32; 8];
+            (rank, comm.reduce_scatter_sum(&data))
+        });
+        // Sum over ranks of constant vectors = 0+1+2+3 = 6 everywhere;
+        // each rank gets 2 elements.
+        for (rank, part) in results {
+            assert_eq!(part.len(), 2, "rank {rank}");
+            assert!(part.iter().all(|&v| v == 6.0));
+        }
+    }
+
+    #[test]
+    fn allreduce_gives_identical_full_vectors() {
+        let results = run_ranks(3, |rank, comm| {
+            let mut data: Vec<f32> = (0..5).map(|i| (rank * 10 + i) as f32).collect();
+            comm.allreduce_sum(&mut data);
+            data
+        });
+        let expect: Vec<f32> = (0..5).map(|i| (0 + 10 + 20 + 3 * i) as f32).collect();
+        for r in results {
+            assert_eq!(r, expect);
+        }
+    }
+
+    #[test]
+    fn sum_scalar_across_ranks() {
+        let results = run_ranks(5, |rank, comm| comm.sum_scalar(rank as f32));
+        for r in results {
+            assert_eq!(r, 10.0);
+        }
+    }
+
+    #[test]
+    fn consecutive_collectives_do_not_interfere() {
+        let results = run_ranks(4, |rank, comm| {
+            let mut out = Vec::new();
+            for round in 0..10u8 {
+                let shard = vec![rank as u8 ^ round; 1];
+                out.push(comm.allgather_bytes(&shard));
+                let mut v = vec![1.0f32];
+                comm.allreduce_sum(&mut v);
+                assert_eq!(v[0], 4.0);
+            }
+            out
+        });
+        for r in results {
+            for (round, gathered) in r.iter().enumerate() {
+                let expect: Vec<u8> = (0..4).map(|k| k as u8 ^ round as u8).collect();
+                assert_eq!(gathered, &expect);
+            }
+        }
+    }
+
+    #[test]
+    fn world_of_one_is_trivial() {
+        let results = run_ranks(1, |_, comm| {
+            let g = comm.allgather_bytes(&[5, 6]);
+            let rs = comm.reduce_scatter_sum(&[1.0, 2.0]);
+            let mut ar = vec![3.0];
+            comm.allreduce_sum(&mut ar);
+            (g, rs, ar)
+        });
+        assert_eq!(results[0], (vec![5, 6], vec![1.0, 2.0], vec![3.0]));
+    }
+
+    #[test]
+    fn traffic_counters_accumulate() {
+        let group = CommGroup::new(2);
+        let comms = group.communicators();
+        let mut handles = Vec::new();
+        for comm in comms {
+            handles.push(thread::spawn(move || {
+                comm.allgather_bytes(&[0u8; 100]);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Each of the 2 ranks received 100 bytes from the other.
+        let (ag, _, _, _, n) = group.traffic().snapshot();
+        assert_eq!(ag, 200);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        // All ranks increment a counter before the barrier; after it, every
+        // rank must observe the full count.
+        let counter = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&counter);
+        let results = run_ranks(8, move |_, comm| {
+            c2.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            c2.load(Ordering::SeqCst)
+        });
+        assert!(results.iter().all(|&v| v == 8));
+    }
+}

@@ -1,0 +1,67 @@
+//! Logical traffic accounting for collectives.
+//!
+//! Counts the bytes each collective moves across GPU links, assuming the
+//! standard ring algorithms (each rank sends and receives `(w-1)/w` of the
+//! payload for allgather/reduce-scatter). These counters drive the
+//! Fig. 6c comparison of broadcast-based vs allgather-based offload fetch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Aggregate byte counters, updated atomically by all ranks.
+#[derive(Debug, Default)]
+pub struct TrafficStats {
+    /// Bytes moved by allgather operations (sum over ranks).
+    pub allgather_bytes: AtomicU64,
+    /// Bytes moved by broadcast operations.
+    pub broadcast_bytes: AtomicU64,
+    /// Bytes moved by reduce-scatter operations.
+    pub reduce_scatter_bytes: AtomicU64,
+    /// Bytes moved by allreduce operations.
+    pub allreduce_bytes: AtomicU64,
+    /// Number of collective operations completed (any type).
+    pub collectives: AtomicU64,
+}
+
+impl TrafficStats {
+    /// Record one collective's traffic.
+    pub fn record(&self, counter: &AtomicU64, bytes: u64) {
+        counter.fetch_add(bytes, Ordering::Relaxed);
+        self.collectives.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total bytes across all collective types.
+    pub fn total_bytes(&self) -> u64 {
+        self.allgather_bytes.load(Ordering::Relaxed)
+            + self.broadcast_bytes.load(Ordering::Relaxed)
+            + self.reduce_scatter_bytes.load(Ordering::Relaxed)
+            + self.allreduce_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of all counters as plain integers
+    /// `(allgather, broadcast, reduce_scatter, allreduce, collectives)`.
+    pub fn snapshot(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.allgather_bytes.load(Ordering::Relaxed),
+            self.broadcast_bytes.load(Ordering::Relaxed),
+            self.reduce_scatter_bytes.load(Ordering::Relaxed),
+            self.allreduce_bytes.load(Ordering::Relaxed),
+            self.collectives.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_total() {
+        let t = TrafficStats::default();
+        t.record(&t.allgather_bytes, 100);
+        t.record(&t.broadcast_bytes, 50);
+        t.record(&t.allgather_bytes, 25);
+        assert_eq!(t.total_bytes(), 175);
+        let (ag, bc, rs, ar, n) = t.snapshot();
+        assert_eq!((ag, bc, rs, ar, n), (125, 50, 0, 0, 3));
+    }
+}

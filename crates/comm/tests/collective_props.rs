@@ -1,0 +1,153 @@
+//! Property tests: every collective must match a scalar reference
+//! implementation for arbitrary world sizes and payloads.
+
+use std::sync::Arc;
+use std::thread;
+
+use proptest::prelude::*;
+use zi_comm::{partition_range, CommGroup};
+
+fn run_ranks<T: Send + 'static>(
+    world: usize,
+    f: impl Fn(usize, zi_comm::Communicator) -> T + Send + Sync + 'static,
+) -> Vec<T> {
+    let group = CommGroup::new(world);
+    let f = Arc::new(f);
+    let handles: Vec<_> = group
+        .communicators()
+        .into_iter()
+        .enumerate()
+        .map(|(rank, comm)| {
+            let f = Arc::clone(&f);
+            thread::spawn(move || f(rank, comm))
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().expect("rank thread")).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Allgather concatenates per-rank shards in rank order, regardless
+    /// of shard lengths.
+    #[test]
+    fn allgather_matches_reference(
+        world in 1usize..5,
+        lens in proptest::collection::vec(0usize..16, 1..5),
+    ) {
+        let lens: Vec<usize> = (0..world).map(|r| lens[r % lens.len()]).collect();
+        let expect: Vec<u8> = (0..world)
+            .flat_map(|r| std::iter::repeat(r as u8).take(lens[r]))
+            .collect();
+        let lens2 = lens.clone();
+        let results = run_ranks(world, move |rank, comm| {
+            let shard = vec![rank as u8; lens2[rank]];
+            comm.allgather_bytes(&shard)
+        });
+        for r in results {
+            prop_assert_eq!(&r, &expect);
+        }
+    }
+
+    /// Reduce-scatter returns each rank's partition of the element-wise
+    /// sum.
+    #[test]
+    fn reduce_scatter_matches_reference(
+        world in 1usize..5,
+        len in 0usize..40,
+        seed in 0u64..1000,
+    ) {
+        // Deterministic per-rank contributions.
+        let contrib = move |rank: usize| -> Vec<f32> {
+            (0..len)
+                .map(|i| ((seed + rank as u64 * 31 + i as u64 * 7) % 13) as f32 - 6.0)
+                .collect()
+        };
+        let mut total = vec![0f32; len];
+        for r in 0..world {
+            for (t, v) in total.iter_mut().zip(contrib(r)) {
+                *t += v;
+            }
+        }
+        let results = run_ranks(world, move |rank, comm| {
+            (rank, comm.reduce_scatter_sum(&contrib(rank)))
+        });
+        for (rank, part) in results {
+            let range = partition_range(len, world, rank);
+            prop_assert_eq!(&part, &total[range].to_vec(), "rank {}", rank);
+        }
+    }
+
+    /// Allreduce leaves the identical full sum on every rank.
+    #[test]
+    fn allreduce_matches_reference(
+        world in 1usize..5,
+        len in 0usize..40,
+        seed in 0u64..1000,
+    ) {
+        let contrib = move |rank: usize| -> Vec<f32> {
+            (0..len).map(|i| ((seed + rank as u64 * 17 + i as u64) % 11) as f32).collect()
+        };
+        let mut total = vec![0f32; len];
+        for r in 0..world {
+            for (t, v) in total.iter_mut().zip(contrib(r)) {
+                *t += v;
+            }
+        }
+        let results = run_ranks(world, move |rank, comm| {
+            let mut data = contrib(rank);
+            comm.allreduce_sum(&mut data);
+            data
+        });
+        for r in results {
+            prop_assert_eq!(&r, &total);
+        }
+    }
+
+    /// Broadcast delivers exactly the root's payload to all.
+    #[test]
+    fn broadcast_matches_reference(
+        world in 1usize..5,
+        root_seed in 0usize..100,
+        payload in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let root = root_seed % world;
+        let expect = payload.clone();
+        let results = run_ranks(world, move |rank, comm| {
+            let mine = if rank == root { payload.clone() } else { vec![0xEE; 3] };
+            comm.broadcast_bytes(root, &mine)
+        });
+        for r in results {
+            prop_assert_eq!(&r, &expect);
+        }
+    }
+
+    /// Composition: reduce_scatter followed by allgather equals allreduce
+    /// (the classic identity ZeRO exploits).
+    #[test]
+    fn reduce_scatter_then_allgather_is_allreduce(
+        world in 1usize..5,
+        len in 1usize..24,
+    ) {
+        let contrib = move |rank: usize| -> Vec<f32> {
+            (0..len).map(|i| (rank * 3 + i) as f32).collect()
+        };
+        let results = run_ranks(world, move |rank, comm| {
+            // Path A: reduce-scatter then gather the shards back.
+            let shard = comm.reduce_scatter_sum(&contrib(rank));
+            let bytes: Vec<u8> = shard.iter().flat_map(|v| v.to_le_bytes()).collect();
+            let gathered = comm.allgather_bytes(&bytes);
+            let a: Vec<f32> = gathered
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            // Path B: allreduce.
+            let mut b = contrib(rank);
+            comm.allreduce_sum(&mut b);
+            (a, b)
+        });
+        for (a, b) in results {
+            prop_assert_eq!(a, b);
+        }
+    }
+}

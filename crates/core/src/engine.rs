@@ -1,0 +1,893 @@
+//! The per-rank ZeRO engine: a [`ParamStore`] with partitioning, offload,
+//! gather-on-demand, gradient reduce-scatter and an offloaded optimizer.
+//!
+//! ## Lifecycle of a parameter (ZeRO-3 / ZeRO-Infinity path)
+//!
+//! 1. **Init** — each rank materializes the deterministic initial values
+//!    one parameter at a time, keeps only its own padded shard (cast to
+//!    the storage dtype) and places it on the configured device. The full
+//!    model is never resident on any rank (Sec. 7.2).
+//! 2. **Fetch** (`get`) — the shard is read from its tier (prefetched
+//!    NVMe reads are consumed here), all shards are allgathered
+//!    (bandwidth-centric partitioning, Sec. 6.1: every rank's PCIe/NVMe
+//!    link carries 1/dp of the parameter), the padding is stripped and
+//!    the f32 compute tensor is charged against GPU working memory.
+//! 3. **Release** — the gathered tensor is dropped and its GPU working
+//!    memory freed; only the shard remains.
+//! 4. **Gradient** (`add_grad`) — the full local gradient is
+//!    reduce-scattered; each rank accumulates its own shard on the
+//!    gradient tier.
+//! 5. **Step** — each rank streams its optimizer-state shard through
+//!    bounded chunks (NVMe→CPU→update→NVMe, Sec. 5.2.2), updates the fp32
+//!    master, and writes the fresh fp16 shard back to the parameter tier.
+//!    Replicated-parameter strategies (ZeRO-1/2/Offload) instead allgather
+//!    the updated slices back into every replica.
+
+use std::collections::HashMap;
+
+use zi_comm::{Communicator, Partitioner};
+use zi_memory::Block;
+use zi_model::{ParamId, ParamRegistry, ParamStore};
+use zi_optim::{adam_update_chunk, AdamConfig, LossScaler};
+use zi_tensor::{FlatBuffer, Tensor};
+use zi_types::{DType, Device, DeviceKind, Error, Result};
+
+use crate::config::Strategy;
+use crate::offload::{DeviceBuf, OffloadManager};
+use crate::prefetch::{PrefetchStats, Prefetcher, TraceMap};
+
+/// How parameters are stored between uses.
+enum ParamStorage {
+    /// Every rank holds only its padded shard.
+    Partitioned(DeviceBuf),
+    /// Every rank holds the full tensor.
+    Replicated(DeviceBuf),
+}
+
+/// Accumulated gradient for one parameter (f32).
+enum GradStorage {
+    /// This rank's reduce-scattered shard (padded length / world).
+    Partitioned(DeviceBuf),
+    /// Fully reduced gradient replicated on every rank.
+    Replicated(DeviceBuf),
+}
+
+/// Optimizer state (fp32 master/momentum/variance) for this rank's
+/// update range.
+struct OptimStorage {
+    master: DeviceBuf,
+    m: DeviceBuf,
+    v: DeviceBuf,
+    step: u64,
+}
+
+/// Everything the engine tracks for one parameter.
+struct ShardState {
+    shape: Vec<usize>,
+    numel: usize,
+    shard_len: usize,
+    param: ParamStorage,
+    grad: Option<GradStorage>,
+    optim: OptimStorage,
+}
+
+/// A gathered parameter currently resident in GPU working memory.
+struct Resident {
+    tensor: Tensor,
+    refcount: usize,
+    gpu_block: Block,
+}
+
+/// Counters describing the engine's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Parameter allgathers performed.
+    pub allgathers: u64,
+    /// Elements moved by parameter allgathers (full, padded).
+    pub gathered_elems: u64,
+    /// Gradient reduce-scatters (or allreduces) performed.
+    pub grad_reductions: u64,
+    /// `get` calls satisfied from the resident cache.
+    pub cache_hits: u64,
+    /// Optimizer chunks streamed through CPU memory.
+    pub optimizer_chunks: u64,
+    /// Steps skipped because of non-finite gradients.
+    pub skipped_steps: u64,
+    /// Optimizer steps applied.
+    pub steps: u64,
+    /// Prefetcher effectiveness.
+    pub prefetch: PrefetchStats,
+}
+
+/// Per-rank ZeRO / ZeRO-Infinity engine.
+pub struct ZeroEngine {
+    strategy: Strategy,
+    mgr: OffloadManager,
+    comm: Communicator,
+    gpu_index: usize,
+    part: Partitioner,
+    adam: AdamConfig,
+    scaler: LossScaler,
+    shards: Vec<ShardState>,
+    /// Extra gradient divisor for multi-micro-batch accumulation.
+    grad_accum_steps: f32,
+    resident: HashMap<ParamId, Resident>,
+    prefetcher: Prefetcher,
+    trace: TraceMap,
+    stats: EngineStats,
+}
+
+impl ZeroEngine {
+    /// Build the engine for one rank, initializing and immediately
+    /// partitioning/offloading every parameter of `registry`.
+    pub fn new(
+        registry: &ParamRegistry,
+        strategy: Strategy,
+        mgr: OffloadManager,
+        comm: Communicator,
+        adam: AdamConfig,
+    ) -> Result<Self> {
+        let gpu_index = comm.rank();
+        Self::new_with_gpu(registry, strategy, mgr, comm, adam, gpu_index)
+    }
+
+    /// Like [`ZeroEngine::new`] but with an explicit GPU pool index,
+    /// needed when tensor parallelism gives several engines the same
+    /// data-parallel rank on one node (gpu = dp_rank * mp + mp_rank).
+    pub fn new_with_gpu(
+        registry: &ParamRegistry,
+        strategy: Strategy,
+        mgr: OffloadManager,
+        comm: Communicator,
+        adam: AdamConfig,
+        gpu_index: usize,
+    ) -> Result<Self> {
+        // ZeRO stages nest: params ⊆ grads ⊆ optimizer partitioning.
+        if strategy.partition_params && !strategy.partition_grads
+            || strategy.partition_grads && !strategy.partition_optimizer
+        {
+            return Err(Error::InvalidArgument(
+                "invalid stage combination: ZeRO partitioning must nest \
+                 (optimizer ⊇ grads ⊇ params)"
+                    .into(),
+            ));
+        }
+        if strategy.optimizer_chunk == 0 {
+            return Err(Error::InvalidArgument("optimizer_chunk must be nonzero".into()));
+        }
+        let rank = comm.rank();
+        let world = comm.world_size();
+        let part = Partitioner::new(world);
+        let _ = rank;
+        let mut shards = Vec::with_capacity(registry.len());
+        for meta in registry.iter() {
+            // One parameter at a time: peak init memory is a single
+            // parameter, never the whole model (Sec. 7.2).
+            let full = meta.init_tensor();
+            let numel = full.numel();
+            let shard_len = part.shard_len(numel);
+
+            let param_device = device_for(strategy.placement.params, gpu_index);
+            let param = if strategy.partition_params {
+                let mut padded = full.data().to_vec();
+                padded.resize(part.padded_len(numel), 0.0);
+                let range = part.shard_range(numel, rank);
+                let shard =
+                    FlatBuffer::from_f32(strategy.param_dtype, &padded[range]);
+                ParamStorage::Partitioned(mgr.store(param_device, shard)?)
+            } else {
+                let buf = FlatBuffer::from_f32(strategy.param_dtype, full.data());
+                ParamStorage::Replicated(mgr.store(param_device, buf)?)
+            };
+
+            // Optimizer master state initialized from the same values so
+            // fp32 masters agree with (or refine) the stored params.
+            let optim_device = device_for(strategy.placement.optimizer, gpu_index);
+            let master_vals: Vec<f32> = if strategy.partition_optimizer {
+                let mut padded = full.data().to_vec();
+                padded.resize(part.padded_len(numel), 0.0);
+                padded[part.shard_range(numel, rank)].to_vec()
+            } else {
+                full.data().to_vec()
+            };
+            let opt_len = master_vals.len();
+            let optim = OptimStorage {
+                master: mgr.store(optim_device, FlatBuffer::from_f32(DType::F32, &master_vals))?,
+                m: mgr.store(optim_device, FlatBuffer::zeros(DType::F32, opt_len))?,
+                v: mgr.store(optim_device, FlatBuffer::zeros(DType::F32, opt_len))?,
+                step: 0,
+            };
+
+            shards.push(ShardState {
+                shape: meta.shape.clone(),
+                numel,
+                shard_len,
+                param,
+                grad: None,
+                optim,
+            });
+        }
+        Ok(ZeroEngine {
+            strategy,
+            mgr,
+            comm,
+            gpu_index,
+            part,
+            adam,
+            scaler: LossScaler::default(),
+            shards,
+            grad_accum_steps: 1.0,
+            resident: HashMap::new(),
+            prefetcher: Prefetcher::new(),
+            trace: TraceMap::new(),
+            stats: EngineStats::default(),
+        })
+    }
+
+    /// This rank.
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// Activity counters (prefetch stats folded in).
+    pub fn stats(&self) -> EngineStats {
+        EngineStats { prefetch: self.prefetcher.stats(), ..self.stats }
+    }
+
+    /// Strategy in force.
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// The offload manager (for pool statistics in tests/benches).
+    pub fn offload_manager(&self) -> &OffloadManager {
+        &self.mgr
+    }
+
+    fn gpu_device(&self) -> Device {
+        Device::gpu(self.gpu_index)
+    }
+
+    /// Fetch the full f32 values of a parameter from wherever they live.
+    fn gather_values(&mut self, id: ParamId) -> Result<Vec<f32>> {
+        let st = &self.shards[id.0];
+        match &st.param {
+            ParamStorage::Replicated(buf) => Ok(self.mgr.load(buf)?.to_f32_vec()),
+            ParamStorage::Partitioned(buf) => {
+                let shard = if self.strategy.prefetch {
+                    self.prefetcher.fetch(&self.mgr, id, buf)?
+                } else {
+                    self.mgr.load(buf)?
+                };
+                let gathered = self.comm.allgather_bytes(shard.as_bytes());
+                self.stats.allgathers += 1;
+                self.stats.gathered_elems += (st.shard_len * self.part.world) as u64;
+                let fb = FlatBuffer::from_bytes(self.strategy.param_dtype, gathered)?;
+                let mut vals = fb.to_f32_vec();
+                vals.truncate(st.numel);
+                Ok(vals)
+            }
+        }
+    }
+
+    /// Issue trace-predicted prefetches for the next parameters.
+    fn prefetch_ahead(&mut self) {
+        if !self.strategy.prefetch || !self.trace.has_history() {
+            return;
+        }
+        for nid in self.trace.predict_next(3) {
+            if self.resident.contains_key(&nid) || self.prefetcher.is_pending(nid) {
+                continue;
+            }
+            if let ParamStorage::Partitioned(buf) = &self.shards[nid.0].param {
+                // Prefetch failures are not fatal: the demand path retries.
+                let _ = self.prefetcher.prefetch(&self.mgr, nid, buf);
+            }
+        }
+    }
+
+    /// Accumulate `delta` into the gradient storage for `id`.
+    fn accumulate_grad(&mut self, id: ParamId, delta: &[f32], partitioned: bool) -> Result<()> {
+        let grad_device = device_for(self.strategy.placement.grads, self.gpu_index);
+        let st = &mut self.shards[id.0];
+        match &mut st.grad {
+            Some(gs) => {
+                let buf = match gs {
+                    GradStorage::Partitioned(b) | GradStorage::Replicated(b) => b,
+                };
+                let mut cur = self.mgr.load(buf)?.to_f32_vec();
+                if cur.len() != delta.len() {
+                    return Err(Error::Internal("gradient accumulation length drift".into()));
+                }
+                for (c, d) in cur.iter_mut().zip(delta) {
+                    *c += d;
+                }
+                self.mgr.overwrite(buf, &FlatBuffer::from_f32(DType::F32, &cur))?;
+            }
+            slot @ None => {
+                let buf =
+                    self.mgr.store(grad_device, FlatBuffer::from_f32(DType::F32, delta))?;
+                *slot = Some(if partitioned {
+                    GradStorage::Partitioned(buf)
+                } else {
+                    GradStorage::Replicated(buf)
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop all accumulated gradients (used when a step is skipped).
+    pub fn clear_grads(&mut self) {
+        for st in &mut self.shards {
+            if let Some(gs) = st.grad.take() {
+                let buf = match gs {
+                    GradStorage::Partitioned(b) | GradStorage::Replicated(b) => b,
+                };
+                self.mgr.free(buf);
+            }
+        }
+    }
+
+    /// Apply one optimizer step. Returns `false` if the step was skipped
+    /// because some rank saw non-finite gradients (dynamic loss scaling
+    /// backoff), `true` if parameters were updated.
+    pub fn step(&mut self) -> Result<bool> {
+        // Global overflow check: any non-finite gradient anywhere skips
+        // the step on every rank.
+        let mut local_overflow = 0.0f32;
+        for st in &self.shards {
+            if let Some(gs) = &st.grad {
+                let buf = match gs {
+                    GradStorage::Partitioned(b) | GradStorage::Replicated(b) => b,
+                };
+                let vals = self.mgr.load(buf)?.to_f32_vec();
+                if LossScaler::has_overflow(&vals) {
+                    local_overflow = 1.0;
+                    break;
+                }
+            }
+        }
+        let any_overflow = self.comm.sum_scalar(local_overflow) > 0.0;
+        if any_overflow {
+            self.clear_grads();
+            self.scaler.update(true);
+            self.stats.skipped_steps += 1;
+            self.end_iteration()?;
+            return Ok(false);
+        }
+        self.scaler.update(false);
+
+        let world = self.comm.world_size() as f32 * self.grad_accum_steps;
+        let rank = self.comm.rank();
+        for idx in 0..self.shards.len() {
+            let Some(gs) = self.shards[idx].grad.take() else { continue };
+            let st = &self.shards[idx];
+            let numel = st.numel;
+            let shard_len = st.shard_len;
+
+            // Assemble the gradient slice covering this rank's update
+            // range, averaged over ranks.
+            let (mut grad_vec, _slice_is_shard) = match gs {
+                GradStorage::Partitioned(buf) => {
+                    let v = self.mgr.load(&buf)?.to_f32_vec();
+                    self.mgr.free(buf);
+                    (v, true)
+                }
+                GradStorage::Replicated(buf) => {
+                    let v = self.mgr.load(&buf)?.to_f32_vec();
+                    self.mgr.free(buf);
+                    if self.strategy.partition_optimizer {
+                        let range = self.part.shard_range(numel, rank);
+                        let mut slice = vec![0f32; shard_len];
+                        let end = range.end.min(numel);
+                        if range.start < end {
+                            slice[..end - range.start].copy_from_slice(&v[range.start..end]);
+                        }
+                        (slice, true)
+                    } else {
+                        (v, false)
+                    }
+                }
+            };
+            for g in &mut grad_vec {
+                *g /= world;
+            }
+
+            // Stream the optimizer state through bounded chunks.
+            let st = &mut self.shards[idx];
+            st.optim.step += 1;
+            let step_no = st.optim.step;
+            let total = grad_vec.len();
+            let chunk = self.strategy.optimizer_chunk.min(total.max(1));
+            let mut new_master = vec![0f32; total];
+            let mut start = 0;
+            while start < total {
+                let len = chunk.min(total - start);
+                let mut mchunk = self.mgr.load_elems(&st.optim.master, start, len)?.to_f32_vec();
+                let mut m1 = self.mgr.load_elems(&st.optim.m, start, len)?.to_f32_vec();
+                let mut m2 = self.mgr.load_elems(&st.optim.v, start, len)?.to_f32_vec();
+                adam_update_chunk(
+                    &self.adam,
+                    step_no,
+                    &mut mchunk,
+                    &mut m1,
+                    &mut m2,
+                    &grad_vec[start..start + len],
+                );
+                self.mgr.overwrite_elems(
+                    &mut st.optim.master,
+                    start,
+                    &FlatBuffer::from_f32(DType::F32, &mchunk),
+                )?;
+                self.mgr.overwrite_elems(
+                    &mut st.optim.m,
+                    start,
+                    &FlatBuffer::from_f32(DType::F32, &m1),
+                )?;
+                self.mgr.overwrite_elems(
+                    &mut st.optim.v,
+                    start,
+                    &FlatBuffer::from_f32(DType::F32, &m2),
+                )?;
+                new_master[start..start + len].copy_from_slice(&mchunk);
+                self.stats.optimizer_chunks += 1;
+                start += len;
+            }
+
+            // Publish the updated parameters in storage dtype.
+            self.publish_master(idx, &new_master)?;
+        }
+        self.stats.steps += 1;
+        self.end_iteration()?;
+        Ok(true)
+    }
+
+    /// Write the fp32 master values covering this rank's update range back
+    /// into parameter storage (casting to the storage dtype). For
+    /// replicated parameters with a partitioned optimizer (ZeRO-1/2) this
+    /// performs an allgather and is therefore a collective.
+    fn publish_master(&mut self, idx: usize, new_master: &[f32]) -> Result<()> {
+        let dtype = self.strategy.param_dtype;
+        let numel = self.shards[idx].numel;
+        match &mut self.shards[idx].param {
+            ParamStorage::Partitioned(buf) => {
+                // new_master covers exactly this rank's padded shard.
+                self.mgr.overwrite(buf, &FlatBuffer::from_f32(dtype, new_master))
+            }
+            ParamStorage::Replicated(buf) => {
+                if self.strategy.partition_optimizer {
+                    // ZeRO-1/2: gather every rank's updated slice back
+                    // into the full replica.
+                    let mine = FlatBuffer::from_f32(dtype, new_master);
+                    let gathered = self.comm.allgather_bytes(mine.as_bytes());
+                    let fb = FlatBuffer::from_bytes(dtype, gathered)?;
+                    let mut vals = fb.to_f32_vec();
+                    vals.truncate(numel);
+                    self.mgr.overwrite(buf, &FlatBuffer::from_f32(dtype, &vals))
+                } else {
+                    self.mgr.overwrite(buf, &FlatBuffer::from_f32(dtype, new_master))
+                }
+            }
+        }
+    }
+
+    fn end_iteration(&mut self) -> Result<()> {
+        self.trace.end_iteration();
+        self.prefetcher.clear(&self.mgr)?;
+        self.mgr.flush()
+    }
+
+    /// Gather the full f32 value of a parameter (collective: every rank
+    /// must call this in the same order).
+    pub fn export_param(&mut self, id: ParamId) -> Result<Tensor> {
+        let vals = self.gather_values(id)?;
+        let shape = self.shards[id.0].shape.clone();
+        Tensor::from_vec(&shape, vals)
+    }
+
+    /// Current loss scale (for observability).
+    pub fn loss_scale(&self) -> f32 {
+        self.scaler.scale()
+    }
+
+    /// Number of parameters managed by this engine.
+    pub fn param_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Update the learning rate (for schedules; takes effect at the next
+    /// optimizer step).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.adam.lr = lr;
+    }
+
+    /// Declare how many micro-batches are accumulated per optimizer step;
+    /// deposited gradients are averaged over `world * steps`.
+    pub fn set_grad_accumulation(&mut self, steps: usize) {
+        assert!(steps > 0, "accumulation steps must be positive");
+        self.grad_accum_steps = steps as f32;
+    }
+
+    /// Read every parameter's optimizer shard out of its tier
+    /// (checkpoint save path).
+    pub(crate) fn export_optimizer_records(
+        &self,
+    ) -> Result<Vec<crate::checkpoint::ParamRecord>> {
+        let mut out = Vec::with_capacity(self.shards.len());
+        for st in &self.shards {
+            out.push(crate::checkpoint::ParamRecord {
+                step: st.optim.step,
+                master: self.mgr.load(&st.optim.master)?.to_f32_vec(),
+                m: self.mgr.load(&st.optim.m)?.to_f32_vec(),
+                v: self.mgr.load(&st.optim.v)?.to_f32_vec(),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Overwrite optimizer state from checkpoint records and republish
+    /// the parameter tensors from the restored masters (checkpoint load
+    /// path; collective for replicated-parameter strategies).
+    pub(crate) fn import_optimizer_records(
+        &mut self,
+        records: Vec<crate::checkpoint::ParamRecord>,
+    ) -> Result<()> {
+        if records.len() != self.shards.len() {
+            return Err(Error::InvalidArgument("record count mismatch".into()));
+        }
+        for (idx, rec) in records.iter().enumerate() {
+            let st = &self.shards[idx];
+            if rec.master.len() != st.optim.master.numel() {
+                return Err(Error::InvalidArgument(format!(
+                    "param {idx}: checkpoint shard of {} elements, engine expects {}",
+                    rec.master.len(),
+                    st.optim.master.numel()
+                )));
+            }
+        }
+        for (idx, rec) in records.into_iter().enumerate() {
+            {
+                let st = &mut self.shards[idx];
+                st.optim.step = rec.step;
+                self.mgr
+                    .overwrite(&mut st.optim.master, &FlatBuffer::from_f32(DType::F32, &rec.master))?;
+                self.mgr.overwrite(&mut st.optim.m, &FlatBuffer::from_f32(DType::F32, &rec.m))?;
+                self.mgr.overwrite(&mut st.optim.v, &FlatBuffer::from_f32(DType::F32, &rec.v))?;
+            }
+            self.publish_master(idx, &rec.master)?;
+        }
+        Ok(())
+    }
+
+    /// Free every device allocation held by this engine. The engine is
+    /// consumed; pools return to their empty state.
+    pub fn dispose(mut self) -> Result<()> {
+        let _ = self.prefetcher.clear(&self.mgr);
+        self.clear_grads();
+        for st in self.shards.drain(..) {
+            let pbuf = match st.param {
+                ParamStorage::Partitioned(b) | ParamStorage::Replicated(b) => b,
+            };
+            self.mgr.free(pbuf);
+            self.mgr.free(st.optim.master);
+            self.mgr.free(st.optim.m);
+            self.mgr.free(st.optim.v);
+        }
+        let gpu = self.gpu_device();
+        for (_, r) in self.resident.drain() {
+            self.mgr.hierarchy().free(gpu, r.gpu_block);
+        }
+        Ok(())
+    }
+}
+
+impl ParamStore for ZeroEngine {
+    fn get(&mut self, id: ParamId) -> Result<Tensor> {
+        self.trace.record(id);
+        if let Some(r) = self.resident.get_mut(&id) {
+            r.refcount += 1;
+            self.stats.cache_hits += 1;
+            return Ok(r.tensor.clone());
+        }
+        let vals = self.gather_values(id)?;
+        let st = &self.shards[id.0];
+        // Charge the gathered compute tensor against GPU working memory;
+        // failure here is the OOM that memory-centric tiling exists to
+        // avoid (Sec. 5.1.3).
+        let bytes = (st.numel * 4) as u64;
+        let gpu_block = self.mgr.hierarchy().alloc(self.gpu_device(), bytes)?;
+        let tensor = Tensor::from_vec(&st.shape, vals)?;
+        self.resident.insert(id, Resident { tensor: tensor.clone(), refcount: 1, gpu_block });
+        self.prefetch_ahead();
+        Ok(tensor)
+    }
+
+    fn release(&mut self, id: ParamId) -> Result<()> {
+        let Some(r) = self.resident.get_mut(&id) else {
+            return Err(Error::Internal(format!("release of non-resident param {id:?}")));
+        };
+        r.refcount -= 1;
+        if r.refcount == 0 {
+            let r = self.resident.remove(&id).expect("checked above");
+            self.mgr.hierarchy().free(self.gpu_device(), r.gpu_block);
+        }
+        Ok(())
+    }
+
+    fn add_grad(&mut self, id: ParamId, grad: &Tensor) -> Result<()> {
+        let st = &self.shards[id.0];
+        if grad.numel() != st.numel {
+            return Err(Error::shape(format!(
+                "add_grad: {} elements for param of {}",
+                grad.numel(),
+                st.numel
+            )));
+        }
+        self.stats.grad_reductions += 1;
+        if self.strategy.partition_grads {
+            let mut padded = grad.data().to_vec();
+            padded.resize(self.part.padded_len(st.numel), 0.0);
+            let shard = self.comm.reduce_scatter_sum(&padded);
+            self.accumulate_grad(id, &shard, true)
+        } else {
+            let mut full = grad.data().to_vec();
+            self.comm.allreduce_sum(&mut full);
+            self.accumulate_grad(id, &full, false)
+        }
+    }
+
+    fn hint_upcoming(&mut self, ids: &[ParamId]) {
+        if !self.strategy.prefetch {
+            return;
+        }
+        for &id in ids {
+            if self.resident.contains_key(&id) || self.prefetcher.is_pending(id) {
+                continue;
+            }
+            if let ParamStorage::Partitioned(buf) = &self.shards[id.0].param {
+                let _ = self.prefetcher.prefetch(&self.mgr, id, buf);
+            }
+        }
+    }
+}
+
+fn device_for(kind: DeviceKind, rank: usize) -> Device {
+    match kind {
+        DeviceKind::Gpu => Device::gpu(rank),
+        DeviceKind::Cpu => Device::cpu(),
+        DeviceKind::Nvme => Device::nvme(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offload::NodeResources;
+    use zi_memory::NodeMemorySpec;
+    use zi_model::ParamRegistry;
+
+    fn tiny_registry() -> ParamRegistry {
+        let mut reg = ParamRegistry::new();
+        reg.register("w", &[3, 4], 5, 0.2, 0.0);
+        reg.register("b", &[5], 6, 0.0, 1.0);
+        reg
+    }
+
+    fn single_rank(strategy: Strategy) -> (NodeResources, ZeroEngine, ParamRegistry) {
+        let spec = NodeMemorySpec::test_spec(1, 1 << 22, 1 << 22, 1 << 22);
+        let node = NodeResources::in_memory(&spec, 1);
+        let reg = tiny_registry();
+        let engine = ZeroEngine::new(
+            &reg,
+            strategy,
+            node.offload_manager(),
+            node.group.communicator(0),
+            AdamConfig::default(),
+        )
+        .unwrap();
+        (node, engine, reg)
+    }
+
+    #[test]
+    fn init_matches_registry_on_every_strategy() {
+        for strategy in Strategy::table2() {
+            let (_node, mut eng, reg) = single_rank(strategy.with_f32_params());
+            for meta in reg.iter() {
+                let got = eng.get(meta.id).unwrap();
+                let expect = meta.init_tensor();
+                assert_eq!(got.shape(), expect.shape(), "{}: {}", strategy.name, meta.name);
+                for (a, b) in got.data().iter().zip(expect.data()) {
+                    assert!((a - b).abs() < 1e-6, "{}: {}", strategy.name, meta.name);
+                }
+                eng.release(meta.id).unwrap();
+            }
+            eng.dispose().unwrap();
+        }
+    }
+
+    #[test]
+    fn fp16_storage_quantizes_but_preserves_magnitude() {
+        let (_node, mut eng, reg) = single_rank(Strategy::infinity_nvme());
+        let id = reg.find("w").unwrap();
+        let got = eng.get(id).unwrap();
+        let expect = reg.meta(id).init_tensor();
+        for (a, b) in got.data().iter().zip(expect.data()) {
+            assert!((a - b).abs() < 1e-3 + b.abs() * 1e-3);
+        }
+        eng.release(id).unwrap();
+        eng.dispose().unwrap();
+    }
+
+    #[test]
+    fn refcounted_residency() {
+        let (node, mut eng, reg) = single_rank(Strategy::infinity_cpu().with_f32_params());
+        let id = reg.find("w").unwrap();
+        let gpu_used_before = node.hierarchy.stats(Device::gpu(0)).in_use;
+        let _a = eng.get(id).unwrap();
+        let _b = eng.get(id).unwrap();
+        assert_eq!(eng.stats().cache_hits, 1);
+        let during = node.hierarchy.stats(Device::gpu(0)).in_use;
+        assert!(during > gpu_used_before, "working memory must be charged");
+        eng.release(id).unwrap();
+        // Still resident (refcount 1): memory held.
+        assert_eq!(node.hierarchy.stats(Device::gpu(0)).in_use, during);
+        eng.release(id).unwrap();
+        assert_eq!(node.hierarchy.stats(Device::gpu(0)).in_use, gpu_used_before);
+        eng.dispose().unwrap();
+    }
+
+    #[test]
+    fn release_without_get_errors() {
+        let (_node, mut eng, reg) = single_rank(Strategy::zero_3());
+        assert!(eng.release(reg.find("w").unwrap()).is_err());
+        eng.dispose().unwrap();
+    }
+
+    #[test]
+    fn adam_step_moves_params_single_rank() {
+        let (_node, mut eng, reg) = single_rank(Strategy::infinity_nvme().with_f32_params());
+        let id = reg.find("w").unwrap();
+        let before = eng.export_param(id).unwrap();
+        let grad = Tensor::from_vec(&[3, 4], vec![1.0; 12]).unwrap();
+        eng.add_grad(id, &grad).unwrap();
+        assert!(eng.step().unwrap());
+        let after = eng.export_param(id).unwrap();
+        // Adam's first step moves each coordinate by ~lr against the grad.
+        for (b, a) in before.data().iter().zip(after.data()) {
+            assert!((b - a - 1e-3).abs() < 1e-4, "expected ~lr decrease: {b} -> {a}");
+        }
+        assert_eq!(eng.stats().steps, 1);
+        eng.dispose().unwrap();
+    }
+
+    #[test]
+    fn chunked_step_equals_monolithic_step() {
+        let run = |chunk: usize| {
+            let (_node, mut eng, reg) =
+                single_rank(Strategy::infinity_nvme().with_f32_params().with_optimizer_chunk(chunk));
+            let id = reg.find("w").unwrap();
+            for s in 0..3 {
+                let grad =
+                    Tensor::from_vec(&[3, 4], (0..12).map(|i| (i + s) as f32 * 0.1).collect())
+                        .unwrap();
+                eng.add_grad(id, &grad).unwrap();
+                eng.step().unwrap();
+            }
+            let out = eng.export_param(id).unwrap();
+            eng.dispose().unwrap();
+            out
+        };
+        let mono = run(usize::MAX);
+        let chunked = run(5);
+        assert_eq!(mono.data(), chunked.data(), "chunk streaming must be exact");
+    }
+
+    #[test]
+    fn overflow_skips_step_and_backs_off_scale() {
+        let (_node, mut eng, reg) = single_rank(Strategy::infinity_cpu().with_f32_params());
+        let id = reg.find("w").unwrap();
+        let before = eng.export_param(id).unwrap();
+        let scale_before = eng.loss_scale();
+        let grad = Tensor::from_vec(&[3, 4], vec![f32::INFINITY; 12]).unwrap();
+        eng.add_grad(id, &grad).unwrap();
+        assert!(!eng.step().unwrap(), "overflow must skip the step");
+        let after = eng.export_param(id).unwrap();
+        assert_eq!(before.data(), after.data());
+        assert!(eng.loss_scale() < scale_before);
+        assert_eq!(eng.stats().skipped_steps, 1);
+        // A healthy step afterwards applies normally.
+        let grad = Tensor::from_vec(&[3, 4], vec![0.5; 12]).unwrap();
+        eng.add_grad(id, &grad).unwrap();
+        assert!(eng.step().unwrap());
+        eng.dispose().unwrap();
+    }
+
+    #[test]
+    fn grad_accumulation_across_micro_batches() {
+        let (_node, mut eng, reg) = single_rank(Strategy::zero_3().with_f32_params());
+        let id = reg.find("b").unwrap();
+        let g1 = Tensor::from_vec(&[5], vec![1.0; 5]).unwrap();
+        eng.add_grad(id, &g1).unwrap();
+        eng.add_grad(id, &g1).unwrap();
+        // Step with accumulated grad = 2.0 everywhere must equal a single
+        // deposit of 2.0.
+        eng.step().unwrap();
+        let a = eng.export_param(id).unwrap();
+
+        let (_node2, mut eng2, reg2) = single_rank(Strategy::zero_3().with_f32_params());
+        let id2 = reg2.find("b").unwrap();
+        let g2 = Tensor::from_vec(&[5], vec![2.0; 5]).unwrap();
+        eng2.add_grad(id2, &g2).unwrap();
+        eng2.step().unwrap();
+        let b = eng2.export_param(id2).unwrap();
+        assert_eq!(a.data(), b.data());
+        eng.dispose().unwrap();
+        eng2.dispose().unwrap();
+    }
+
+    #[test]
+    fn dispose_returns_all_memory() {
+        let spec = NodeMemorySpec::test_spec(1, 1 << 22, 1 << 22, 1 << 22);
+        let node = NodeResources::in_memory(&spec, 1);
+        let reg = tiny_registry();
+        let mut eng = ZeroEngine::new(
+            &reg,
+            Strategy::infinity_nvme(),
+            node.offload_manager(),
+            node.group.communicator(0),
+            AdamConfig::default(),
+        )
+        .unwrap();
+        let id = reg.find("w").unwrap();
+        let g = Tensor::from_vec(&[3, 4], vec![1.0; 12]).unwrap();
+        eng.add_grad(id, &g).unwrap();
+        let _p = eng.get(id).unwrap();
+        eng.dispose().unwrap();
+        for dev in [Device::gpu(0), Device::cpu(), Device::nvme()] {
+            assert_eq!(node.hierarchy.stats(dev).in_use, 0, "leak on {dev}");
+        }
+    }
+
+    #[test]
+    fn invalid_stage_combinations_rejected() {
+        let spec = NodeMemorySpec::test_spec(1, 1 << 20, 1 << 20, 1 << 20);
+        let node = NodeResources::in_memory(&spec, 1);
+        let reg = tiny_registry();
+        let bad = Strategy {
+            partition_params: true,
+            partition_grads: false,
+            ..Strategy::data_parallel()
+        };
+        assert!(ZeroEngine::new(
+            &reg,
+            bad,
+            node.offload_manager(),
+            node.group.communicator(0),
+            AdamConfig::default(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn gpu_oom_on_gather_surfaces() {
+        // GPU pool too small to hold the gathered w (12 f32 = 48 bytes).
+        let spec = NodeMemorySpec::test_spec(1, 40, 1 << 20, 1 << 20);
+        let node = NodeResources::in_memory(&spec, 1);
+        let reg = tiny_registry();
+        let mut eng = ZeroEngine::new(
+            &reg,
+            Strategy::infinity_cpu(),
+            node.offload_manager(),
+            node.group.communicator(0),
+            AdamConfig::default(),
+        )
+        .unwrap();
+        let err = eng.get(reg.find("w").unwrap()).unwrap_err();
+        assert!(err.is_oom());
+        // The small bias still fits.
+        assert!(eng.get(reg.find("b").unwrap()).is_ok());
+        eng.release(reg.find("b").unwrap()).unwrap();
+        eng.dispose().unwrap();
+    }
+}

@@ -1,0 +1,428 @@
+//! The infinity offload engine: placement-aware device buffers.
+//!
+//! A [`DeviceBuf`] is one tensor's worth of bytes resident on a specific
+//! memory tier. GPU and CPU buffers hold their bytes in process memory and
+//! charge the corresponding capacity pool; NVMe buffers own an extent of
+//! the backing device and move bytes through the asynchronous
+//! [`zi_nvme::NvmeEngine`]. Every NVMe transfer checks a staging buffer out
+//! of the pinned pool for its duration, bounding staging memory the way
+//! the paper's pinned-memory management layer does (Sec. 6.3).
+
+use std::sync::Arc;
+
+use zi_comm::CommGroup;
+use zi_memory::{Block, MemoryHierarchy, NodeMemorySpec, PinnedBufferPool};
+use zi_nvme::{FileBackend, MemBackend, NvmeEngine, StorageBackend, Ticket};
+use zi_tensor::FlatBuffer;
+use zi_types::{DType, Device, DeviceKind, Error, Result, WorldSize};
+
+/// Shared per-node resources: memory pools, the NVMe engine, the pinned
+/// staging pool, and the communicator group.
+pub struct NodeResources {
+    /// Capacity pools for every device tier.
+    pub hierarchy: Arc<MemoryHierarchy>,
+    /// Asynchronous NVMe engine (shared by all ranks on the node).
+    pub nvme: Arc<NvmeEngine>,
+    /// Pinned staging buffers for NVMe transfers.
+    pub pinned: PinnedBufferPool,
+    /// Data-parallel communicator group.
+    pub group: CommGroup,
+}
+
+/// Default pinned staging buffer size (bytes).
+const PINNED_BUF_BYTES: usize = 1 << 20;
+/// Default number of pinned staging buffers.
+const PINNED_BUF_COUNT: usize = 8;
+/// Default NVMe worker threads.
+const NVME_WORKERS: usize = 4;
+
+impl NodeResources {
+    /// Node with an in-memory NVMe device (deterministic tests).
+    pub fn in_memory(spec: &NodeMemorySpec, world: WorldSize) -> Self {
+        let backend = Arc::new(MemBackend::new()) as Arc<dyn StorageBackend>;
+        Self::with_backend(spec, world, backend)
+    }
+
+    /// Node whose NVMe device is a real file at `path` (benchmarks).
+    pub fn with_file_nvme(
+        spec: &NodeMemorySpec,
+        world: WorldSize,
+        path: &std::path::Path,
+    ) -> Result<Self> {
+        let backend = Arc::new(FileBackend::create(path)?) as Arc<dyn StorageBackend>;
+        Ok(Self::with_backend(spec, world, backend))
+    }
+
+    /// Node over an explicit storage backend.
+    pub fn with_backend(
+        spec: &NodeMemorySpec,
+        world: WorldSize,
+        backend: Arc<dyn StorageBackend>,
+    ) -> Self {
+        NodeResources {
+            hierarchy: Arc::new(MemoryHierarchy::new(spec)),
+            nvme: Arc::new(NvmeEngine::new(backend, NVME_WORKERS)),
+            pinned: PinnedBufferPool::new(PINNED_BUF_COUNT, PINNED_BUF_BYTES),
+            group: CommGroup::new(world),
+        }
+    }
+
+    /// A per-rank offload manager handle.
+    pub fn offload_manager(&self) -> OffloadManager {
+        OffloadManager {
+            hierarchy: Arc::clone(&self.hierarchy),
+            nvme: Arc::clone(&self.nvme),
+            pinned: self.pinned.clone(),
+        }
+    }
+}
+
+/// One tensor's bytes, resident on a device tier.
+#[derive(Debug)]
+pub struct DeviceBuf {
+    device: Device,
+    dtype: DType,
+    numel: usize,
+    block: Block,
+    /// Present for GPU/CPU placements; NVMe bytes live on the device.
+    ram: Option<FlatBuffer>,
+}
+
+impl DeviceBuf {
+    /// Device this buffer lives on.
+    pub fn device(&self) -> Device {
+        self.device
+    }
+
+    /// Element type.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.numel
+    }
+
+    /// Size in bytes.
+    pub fn size_in_bytes(&self) -> usize {
+        self.dtype.bytes_for(self.numel)
+    }
+}
+
+/// An NVMe load in flight; resolves to the bytes when waited.
+///
+/// The pinned staging buffer is held only while the request is being
+/// submitted, never across the life of the pending load — holding it
+/// longer can deadlock ranks that block inside collectives while a
+/// sibling rank waits for staging (the pinned pool is a node-shared
+/// resource).
+pub struct PendingLoad {
+    dtype: DType,
+    /// Outstanding NVMe read.
+    ticket: Option<Ticket>,
+    /// Immediate result for GPU/CPU sources.
+    immediate: Option<FlatBuffer>,
+}
+
+impl PendingLoad {
+    /// Block until the data is available.
+    pub fn wait(self, mgr: &OffloadManager) -> Result<FlatBuffer> {
+        match (self.ticket, self.immediate) {
+            (Some(ticket), _) => {
+                let bytes = mgr
+                    .nvme
+                    .wait(ticket)?
+                    .ok_or_else(|| Error::Internal("read ticket returned no data".into()))?;
+                FlatBuffer::from_bytes(self.dtype, bytes)
+            }
+            (None, Some(buf)) => Ok(buf),
+            (None, None) => Err(Error::Internal("empty PendingLoad".into())),
+        }
+    }
+
+    /// True if this load still has an outstanding NVMe request.
+    pub fn is_async(&self) -> bool {
+        self.ticket.is_some()
+    }
+}
+
+/// Handle for storing/loading tensors on any tier.
+#[derive(Clone)]
+pub struct OffloadManager {
+    hierarchy: Arc<MemoryHierarchy>,
+    nvme: Arc<NvmeEngine>,
+    pinned: PinnedBufferPool,
+}
+
+impl OffloadManager {
+    /// Capacity pools (for stats and fragmentation experiments).
+    pub fn hierarchy(&self) -> &MemoryHierarchy {
+        &self.hierarchy
+    }
+
+    /// The NVMe engine (for stats).
+    pub fn nvme(&self) -> &NvmeEngine {
+        &self.nvme
+    }
+
+    /// The pinned staging pool.
+    pub fn pinned(&self) -> &PinnedBufferPool {
+        &self.pinned
+    }
+
+    /// Allocate on `device` and store `data` there.
+    pub fn store(&self, device: Device, data: FlatBuffer) -> Result<DeviceBuf> {
+        let bytes = data.size_in_bytes() as u64;
+        let block = self.hierarchy.alloc(device, bytes)?;
+        let numel = data.numel();
+        let dtype = data.dtype();
+        let ram = match device.kind {
+            DeviceKind::Gpu | DeviceKind::Cpu => Some(data),
+            DeviceKind::Nvme => {
+                // Stage through a pinned buffer for the duration of the
+                // write, then hand the bytes to the async engine and wait:
+                // stores must be durable before the shard is dropped.
+                let _staging = self.pinned.acquire();
+                let ticket = self.nvme.submit_write(block.offset, data.as_bytes().to_vec());
+                self.nvme.wait(ticket)?;
+                None
+            }
+        };
+        Ok(DeviceBuf { device, dtype, numel, block, ram })
+    }
+
+    /// Load the entire buffer.
+    pub fn load(&self, buf: &DeviceBuf) -> Result<FlatBuffer> {
+        match &buf.ram {
+            Some(data) => Ok(data.clone()),
+            None => {
+                let _staging = self.pinned.acquire();
+                let ticket = self.nvme.submit_read(buf.block.offset, buf.size_in_bytes());
+                let bytes = self
+                    .nvme
+                    .wait(ticket)?
+                    .ok_or_else(|| Error::Internal("read returned no data".into()))?;
+                FlatBuffer::from_bytes(buf.dtype, bytes)
+            }
+        }
+    }
+
+    /// Load elements `[start, start+len)`.
+    pub fn load_elems(&self, buf: &DeviceBuf, start: usize, len: usize) -> Result<FlatBuffer> {
+        if start + len > buf.numel {
+            return Err(Error::shape(format!(
+                "load_elems [{start}, {}) out of buffer of {} elements",
+                start + len,
+                buf.numel
+            )));
+        }
+        match &buf.ram {
+            Some(data) => data.slice(start, len),
+            None => {
+                let es = buf.dtype.size_in_bytes() as u64;
+                let _staging = self.pinned.acquire();
+                let ticket = self
+                    .nvme
+                    .submit_read(buf.block.offset + start as u64 * es, buf.dtype.bytes_for(len));
+                let bytes = self
+                    .nvme
+                    .wait(ticket)?
+                    .ok_or_else(|| Error::Internal("read returned no data".into()))?;
+                FlatBuffer::from_bytes(buf.dtype, bytes)
+            }
+        }
+    }
+
+    /// Begin an asynchronous load of the whole buffer. NVMe sources issue
+    /// the read immediately and return; GPU/CPU sources resolve instantly.
+    /// This is the `nc-transfer` stage the prefetcher overlaps with
+    /// compute (Sec. 6.2).
+    pub fn begin_load(&self, buf: &DeviceBuf) -> Result<PendingLoad> {
+        match &buf.ram {
+            Some(data) => {
+                Ok(PendingLoad { dtype: buf.dtype, ticket: None, immediate: Some(data.clone()) })
+            }
+            None => {
+                // Staging is charged transiently for the submission only.
+                let _staging = self.pinned.acquire();
+                let ticket = self.nvme.submit_read(buf.block.offset, buf.size_in_bytes());
+                Ok(PendingLoad { dtype: buf.dtype, ticket: Some(ticket), immediate: None })
+            }
+        }
+    }
+
+    /// Replace the buffer's entire contents.
+    pub fn overwrite(&self, buf: &mut DeviceBuf, data: &FlatBuffer) -> Result<()> {
+        if data.numel() != buf.numel || data.dtype() != buf.dtype {
+            return Err(Error::shape("overwrite size/dtype mismatch"));
+        }
+        match &mut buf.ram {
+            Some(ram) => {
+                *ram = data.clone();
+                Ok(())
+            }
+            None => {
+                let _staging = self.pinned.acquire();
+                let ticket = self.nvme.submit_write(buf.block.offset, data.as_bytes().to_vec());
+                self.nvme.wait(ticket)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Overwrite elements starting at `start` with `data`.
+    pub fn overwrite_elems(
+        &self,
+        buf: &mut DeviceBuf,
+        start: usize,
+        data: &FlatBuffer,
+    ) -> Result<()> {
+        if data.dtype() != buf.dtype || start + data.numel() > buf.numel {
+            return Err(Error::shape("overwrite_elems size/dtype mismatch"));
+        }
+        match &mut buf.ram {
+            Some(ram) => ram.write_slice(start, data),
+            None => {
+                let es = buf.dtype.size_in_bytes() as u64;
+                let _staging = self.pinned.acquire();
+                let ticket = self
+                    .nvme
+                    .submit_write(buf.block.offset + start as u64 * es, data.as_bytes().to_vec());
+                self.nvme.wait(ticket)?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Asynchronously overwrite the buffer (gradient offload overlap,
+    /// Sec. 6.2); completion is guaranteed only after [`Self::flush`].
+    pub fn overwrite_async(&self, buf: &mut DeviceBuf, data: &FlatBuffer) -> Result<()> {
+        if data.numel() != buf.numel || data.dtype() != buf.dtype {
+            return Err(Error::shape("overwrite_async size/dtype mismatch"));
+        }
+        match &mut buf.ram {
+            Some(ram) => {
+                *ram = data.clone();
+                Ok(())
+            }
+            None => {
+                self.nvme.submit_write_detached(buf.block.offset, data.as_bytes().to_vec());
+                Ok(())
+            }
+        }
+    }
+
+    /// Drain all outstanding NVMe requests.
+    pub fn flush(&self) -> Result<()> {
+        self.nvme.flush()
+    }
+
+    /// Release the buffer's device memory.
+    pub fn free(&self, buf: DeviceBuf) {
+        self.hierarchy.free(buf.device, buf.block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> NodeResources {
+        let spec = NodeMemorySpec::test_spec(2, 1 << 20, 1 << 20, 1 << 20);
+        NodeResources::in_memory(&spec, 2)
+    }
+
+    fn buf_f32(vals: &[f32]) -> FlatBuffer {
+        FlatBuffer::from_f32(DType::F32, vals)
+    }
+
+    #[test]
+    fn store_load_round_trip_every_tier() {
+        let node = node();
+        let mgr = node.offload_manager();
+        for device in [Device::gpu(0), Device::cpu(), Device::nvme()] {
+            let data = buf_f32(&[1.0, -2.0, 3.5]);
+            let buf = mgr.store(device, data.clone()).unwrap();
+            assert_eq!(buf.device(), device);
+            assert_eq!(buf.numel(), 3);
+            let back = mgr.load(&buf).unwrap();
+            assert_eq!(back.to_f32_vec(), data.to_f32_vec(), "tier {device}");
+            mgr.free(buf);
+            assert_eq!(mgr.hierarchy().stats(device).in_use, 0);
+        }
+    }
+
+    #[test]
+    fn partial_load_and_overwrite() {
+        let node = node();
+        let mgr = node.offload_manager();
+        for device in [Device::cpu(), Device::nvme()] {
+            let mut buf = mgr.store(device, buf_f32(&[0.0, 1.0, 2.0, 3.0, 4.0])).unwrap();
+            let mid = mgr.load_elems(&buf, 1, 3).unwrap();
+            assert_eq!(mid.to_f32_vec(), vec![1.0, 2.0, 3.0]);
+            mgr.overwrite_elems(&mut buf, 2, &buf_f32(&[9.0, 8.0])).unwrap();
+            assert_eq!(mgr.load(&buf).unwrap().to_f32_vec(), vec![0.0, 1.0, 9.0, 8.0, 4.0]);
+            mgr.free(buf);
+        }
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let spec = NodeMemorySpec::test_spec(1, 16, 1 << 20, 1 << 20);
+        let node = NodeResources::in_memory(&spec, 1);
+        let mgr = node.offload_manager();
+        // 5 f32 = 20 bytes > 16-byte GPU pool.
+        let err = mgr.store(Device::gpu(0), buf_f32(&[0.0; 5])).unwrap_err();
+        assert!(err.is_oom());
+        // Same data fits on CPU.
+        let buf = mgr.store(Device::cpu(), buf_f32(&[0.0; 5])).unwrap();
+        mgr.free(buf);
+    }
+
+    #[test]
+    fn async_load_overlaps() {
+        let node = node();
+        let mgr = node.offload_manager();
+        let buf = mgr.store(Device::nvme(), buf_f32(&[7.0; 64])).unwrap();
+        let pending = mgr.begin_load(&buf).unwrap();
+        assert!(pending.is_async());
+        // ... compute would happen here ...
+        let data = pending.wait(&mgr).unwrap();
+        assert_eq!(data.to_f32_vec(), vec![7.0; 64]);
+        mgr.free(buf);
+    }
+
+    #[test]
+    fn cpu_loads_resolve_immediately() {
+        let node = node();
+        let mgr = node.offload_manager();
+        let buf = mgr.store(Device::cpu(), buf_f32(&[1.0, 2.0])).unwrap();
+        let pending = mgr.begin_load(&buf).unwrap();
+        assert!(!pending.is_async());
+        assert_eq!(pending.wait(&mgr).unwrap().to_f32_vec(), vec![1.0, 2.0]);
+        mgr.free(buf);
+    }
+
+    #[test]
+    fn async_overwrite_visible_after_flush() {
+        let node = node();
+        let mgr = node.offload_manager();
+        let mut buf = mgr.store(Device::nvme(), buf_f32(&[0.0; 8])).unwrap();
+        mgr.overwrite_async(&mut buf, &buf_f32(&[5.0; 8])).unwrap();
+        mgr.flush().unwrap();
+        assert_eq!(mgr.load(&buf).unwrap().to_f32_vec(), vec![5.0; 8]);
+        mgr.free(buf);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let node = node();
+        let mgr = node.offload_manager();
+        let mut buf = mgr.store(Device::cpu(), buf_f32(&[0.0; 4])).unwrap();
+        assert!(mgr.load_elems(&buf, 3, 2).is_err());
+        assert!(mgr.overwrite_elems(&mut buf, 3, &buf_f32(&[0.0; 2])).is_err());
+        assert!(mgr.overwrite(&mut buf, &buf_f32(&[0.0; 5])).is_err());
+        mgr.free(buf);
+    }
+}

@@ -1,0 +1,261 @@
+//! Dynamic prefetcher (paper Sec. 6.2).
+//!
+//! Two cooperating pieces:
+//!
+//! * [`TraceMap`] — an operator-sequence map built on the fly: it records
+//!   the order parameters are consumed each iteration and predicts which
+//!   parameters follow the current position, re-synchronizing when the
+//!   workflow changes between iterations (the paper's "dynamic workflow"
+//!   support).
+//! * [`Prefetcher`] — tracks in-flight asynchronous shard loads
+//!   (`nc-transfer`: NVMe→CPU) started either from runner hints or from
+//!   trace predictions, so the demand fetch finds the slow hop already
+//!   done and only pays the gather.
+
+use std::collections::HashMap;
+
+use zi_model::ParamId;
+use zi_tensor::FlatBuffer;
+use zi_types::Result;
+
+use crate::offload::{DeviceBuf, OffloadManager, PendingLoad};
+
+/// Operator-sequence map with on-the-fly re-synchronization.
+#[derive(Debug, Default)]
+pub struct TraceMap {
+    prev: Vec<ParamId>,
+    cur: Vec<ParamId>,
+    cursor: usize,
+}
+
+impl TraceMap {
+    /// New, empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a parameter access in the current iteration and advance the
+    /// predictor position within the previous iteration's trace.
+    pub fn record(&mut self, id: ParamId) {
+        self.cur.push(id);
+        if self.cursor < self.prev.len() && self.prev[self.cursor] == id {
+            self.cursor += 1;
+        } else {
+            // Workflow diverged: re-synchronize by searching forward for
+            // the access we just saw.
+            if let Some(pos) = self.prev[self.cursor.min(self.prev.len())..]
+                .iter()
+                .position(|&p| p == id)
+            {
+                self.cursor = self.cursor + pos + 1;
+            }
+        }
+    }
+
+    /// Predict up to `k` parameter accesses following the current position.
+    pub fn predict_next(&self, k: usize) -> Vec<ParamId> {
+        let end = (self.cursor + k).min(self.prev.len());
+        self.prev[self.cursor..end].to_vec()
+    }
+
+    /// Finish the iteration: the recorded sequence becomes the prediction
+    /// source for the next one.
+    pub fn end_iteration(&mut self) {
+        self.prev = std::mem::take(&mut self.cur);
+        self.cursor = 0;
+    }
+
+    /// True once at least one full iteration has been traced.
+    pub fn has_history(&self) -> bool {
+        !self.prev.is_empty()
+    }
+}
+
+/// Prefetch effectiveness counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchStats {
+    /// Asynchronous loads started ahead of demand.
+    pub issued: u64,
+    /// Demand fetches that found their shard load already in flight or
+    /// complete.
+    pub hits: u64,
+    /// Demand fetches that had to start the load synchronously.
+    pub misses: u64,
+}
+
+/// Upper bound on simultaneously in-flight prefetch loads. Bounds both
+/// NVMe queue depth and the memory held by completed-but-unconsumed
+/// reads.
+const MAX_PENDING: usize = 16;
+
+/// In-flight asynchronous shard loads keyed by parameter.
+#[derive(Default)]
+pub struct Prefetcher {
+    pending: HashMap<ParamId, PendingLoad>,
+    stats: PrefetchStats,
+}
+
+impl Prefetcher {
+    /// New, idle prefetcher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begin an asynchronous load for `id`'s shard unless one is already
+    /// in flight. Only asynchronous sources (NVMe) are tracked; loads that
+    /// resolve immediately are left for the demand path.
+    pub fn prefetch(&mut self, mgr: &OffloadManager, id: ParamId, shard: &DeviceBuf) -> Result<()> {
+        if self.pending.contains_key(&id) || self.pending.len() >= MAX_PENDING {
+            return Ok(());
+        }
+        let pending = mgr.begin_load(shard)?;
+        if pending.is_async() {
+            self.pending.insert(id, pending);
+            self.stats.issued += 1;
+        }
+        Ok(())
+    }
+
+    /// Resolve `id`'s shard: consume the in-flight load if present
+    /// (prefetch hit) or perform a synchronous load (miss).
+    pub fn fetch(
+        &mut self,
+        mgr: &OffloadManager,
+        id: ParamId,
+        shard: &DeviceBuf,
+    ) -> Result<FlatBuffer> {
+        if let Some(pending) = self.pending.remove(&id) {
+            self.stats.hits += 1;
+            pending.wait(mgr)
+        } else {
+            self.stats.misses += 1;
+            mgr.load(shard)
+        }
+    }
+
+    /// True if a load for `id` is in flight.
+    pub fn is_pending(&self, id: ParamId) -> bool {
+        self.pending.contains_key(&id)
+    }
+
+    /// Effectiveness counters.
+    pub fn stats(&self) -> PrefetchStats {
+        self.stats
+    }
+
+    /// Drop all in-flight loads (end of iteration housekeeping). The
+    /// underlying NVMe reads complete harmlessly; their staging buffers
+    /// return to the pinned pool.
+    pub fn clear(&mut self, mgr: &OffloadManager) -> Result<()> {
+        for (_, pending) in self.pending.drain() {
+            // Wait rather than leak the pinned staging buffer mid-flight.
+            let _ = pending.wait(mgr)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zi_memory::NodeMemorySpec;
+    use zi_types::{DType, Device};
+
+    fn ids(v: &[usize]) -> Vec<ParamId> {
+        v.iter().map(|&i| ParamId(i)).collect()
+    }
+
+    #[test]
+    fn trace_predicts_repeating_sequence() {
+        let mut t = TraceMap::new();
+        for &i in &[0usize, 1, 2, 3] {
+            t.record(ParamId(i));
+        }
+        t.end_iteration();
+        assert!(t.has_history());
+        // Start of next iteration: everything is still ahead.
+        assert_eq!(t.predict_next(2), ids(&[0, 1]));
+        t.record(ParamId(0));
+        assert_eq!(t.predict_next(2), ids(&[1, 2]));
+        t.record(ParamId(1));
+        t.record(ParamId(2));
+        assert_eq!(t.predict_next(5), ids(&[3]));
+    }
+
+    #[test]
+    fn trace_resynchronizes_on_divergence() {
+        let mut t = TraceMap::new();
+        for &i in &[0usize, 1, 2, 3, 4] {
+            t.record(ParamId(i));
+        }
+        t.end_iteration();
+        // The new iteration skips 0 and 1 (dynamic control flow).
+        t.record(ParamId(2));
+        assert_eq!(t.predict_next(2), ids(&[3, 4]));
+    }
+
+    #[test]
+    fn empty_trace_predicts_nothing() {
+        let t = TraceMap::new();
+        assert!(!t.has_history());
+        assert!(t.predict_next(4).is_empty());
+    }
+
+    #[test]
+    fn prefetch_hit_and_miss_accounting() {
+        let spec = NodeMemorySpec::test_spec(1, 1 << 20, 1 << 20, 1 << 20);
+        let node = crate::offload::NodeResources::in_memory(&spec, 1);
+        let mgr = node.offload_manager();
+        let shard_a = mgr
+            .store(Device::nvme(), FlatBuffer::from_f32(DType::F32, &[1.0; 16]))
+            .unwrap();
+        let shard_b = mgr
+            .store(Device::nvme(), FlatBuffer::from_f32(DType::F32, &[2.0; 16]))
+            .unwrap();
+        let mut pf = Prefetcher::new();
+        pf.prefetch(&mgr, ParamId(0), &shard_a).unwrap();
+        assert!(pf.is_pending(ParamId(0)));
+        // Duplicate prefetch is a no-op.
+        pf.prefetch(&mgr, ParamId(0), &shard_a).unwrap();
+        assert_eq!(pf.stats().issued, 1);
+
+        let a = pf.fetch(&mgr, ParamId(0), &shard_a).unwrap();
+        assert_eq!(a.to_f32_vec(), vec![1.0; 16]);
+        let b = pf.fetch(&mgr, ParamId(1), &shard_b).unwrap();
+        assert_eq!(b.to_f32_vec(), vec![2.0; 16]);
+        let st = pf.stats();
+        assert_eq!((st.issued, st.hits, st.misses), (1, 1, 1));
+        mgr.free(shard_a);
+        mgr.free(shard_b);
+    }
+
+    #[test]
+    fn cpu_shards_are_not_tracked() {
+        let spec = NodeMemorySpec::test_spec(1, 1 << 20, 1 << 20, 1 << 20);
+        let node = crate::offload::NodeResources::in_memory(&spec, 1);
+        let mgr = node.offload_manager();
+        let shard = mgr
+            .store(Device::cpu(), FlatBuffer::from_f32(DType::F32, &[3.0; 4]))
+            .unwrap();
+        let mut pf = Prefetcher::new();
+        pf.prefetch(&mgr, ParamId(0), &shard).unwrap();
+        assert!(!pf.is_pending(ParamId(0)));
+        assert_eq!(pf.stats().issued, 0);
+        mgr.free(shard);
+    }
+
+    #[test]
+    fn clear_drains_pending() {
+        let spec = NodeMemorySpec::test_spec(1, 1 << 20, 1 << 20, 1 << 20);
+        let node = crate::offload::NodeResources::in_memory(&spec, 1);
+        let mgr = node.offload_manager();
+        let shard = mgr
+            .store(Device::nvme(), FlatBuffer::from_f32(DType::F32, &[0.0; 8]))
+            .unwrap();
+        let mut pf = Prefetcher::new();
+        pf.prefetch(&mgr, ParamId(0), &shard).unwrap();
+        pf.clear(&mgr).unwrap();
+        assert!(!pf.is_pending(ParamId(0)));
+        mgr.free(shard);
+    }
+}

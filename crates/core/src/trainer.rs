@@ -1,0 +1,592 @@
+//! Multi-rank training orchestration.
+//!
+//! Spawns one OS thread per data-parallel rank, each with its own
+//! [`ZeroEngine`], and trains a `zi-model` GPT end to end. Used by the
+//! equivalence tests (every Table 2 strategy must train identically to a
+//! dense single-process baseline when parameter storage is fp32) and by
+//! the examples/benches.
+
+use std::sync::Arc;
+use std::thread;
+
+use zi_memory::NodeMemorySpec;
+use zi_model::{DenseStore, GptConfig, GptModel, InMemoryActStore, NoopObserver, RunOptions};
+use zi_optim::{AdamConfig, AdamShard, LrSchedule};
+use zi_tensor::Tensor;
+use zi_types::{Error, Result};
+
+use crate::config::Strategy;
+use crate::engine::{EngineStats, ZeroEngine};
+use crate::offload::NodeResources;
+
+/// Everything needed to run a training session.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainSpec {
+    /// Model architecture.
+    pub model: GptConfig,
+    /// Partitioning/placement strategy.
+    pub strategy: Strategy,
+    /// Data-parallel degree.
+    pub world: usize,
+    /// Micro-batch per rank; global batch is `world * micro_batch`.
+    pub micro_batch: usize,
+    /// Optimizer steps to run.
+    pub steps: usize,
+    /// Adam hyperparameters.
+    pub adam: AdamConfig,
+    /// Micro-batches accumulated per optimizer step.
+    pub grad_accumulation: usize,
+    /// Optional learning-rate schedule (overrides `adam.lr` per step).
+    pub schedule: Option<LrSchedule>,
+    /// Node memory capacities.
+    pub node: NodeMemorySpec,
+    /// Recompute activations in backward.
+    pub activation_checkpointing: bool,
+    /// Offload checkpointed activations to CPU memory (paper Sec. 5.1.2);
+    /// requires `activation_checkpointing`.
+    pub offload_activations: bool,
+    /// Modules announced ahead via `hint_upcoming`.
+    pub prefetch_window: usize,
+}
+
+impl TrainSpec {
+    /// A spec with generous test-sized memory pools.
+    pub fn test_default(model: GptConfig, strategy: Strategy, world: usize) -> Self {
+        TrainSpec {
+            model,
+            strategy,
+            world,
+            micro_batch: 2,
+            steps: 5,
+            adam: AdamConfig { lr: 0.01, ..Default::default() },
+            grad_accumulation: 1,
+            schedule: None,
+            node: NodeMemorySpec::test_spec(world, 1 << 24, 1 << 26, 1 << 26),
+            activation_checkpointing: false,
+            offload_activations: false,
+            prefetch_window: 2,
+        }
+    }
+}
+
+/// Results of a training session (rank 0's view).
+pub struct TrainOutcome {
+    /// Mean loss across ranks, one entry per step.
+    pub losses: Vec<f32>,
+    /// Final full parameter values, in registry order.
+    pub final_params: Vec<Tensor>,
+    /// Engine counters from rank 0.
+    pub stats: EngineStats,
+}
+
+/// Deterministic synthetic next-token data: `target = (token + 1) % vocab`.
+///
+/// Returns `(tokens, targets)` with `global_batch * seq` rows; rank `r`
+/// trains on rows `[r * micro * seq, (r+1) * micro * seq)`.
+pub fn synthetic_batch(
+    cfg: &GptConfig,
+    global_batch: usize,
+    step: usize,
+) -> (Vec<usize>, Vec<usize>) {
+    let rows = global_batch * cfg.seq;
+    let tokens: Vec<usize> = (0..rows)
+        .map(|i| ((i as u64 * 7 + step as u64 * 3 + 1) % cfg.vocab as u64) as usize)
+        .collect();
+    let targets: Vec<usize> = tokens.iter().map(|&t| (t + 1) % cfg.vocab).collect();
+    (tokens, targets)
+}
+
+/// Train a GPT with the given strategy across `spec.world` rank threads.
+pub fn train_gpt(spec: &TrainSpec) -> Result<TrainOutcome> {
+    let spec = *spec;
+    let node = Arc::new(NodeResources::in_memory(&spec.node, spec.world));
+    let mut handles = Vec::with_capacity(spec.world);
+    for rank in 0..spec.world {
+        let node = Arc::clone(&node);
+        handles.push(
+            thread::Builder::new()
+                .name(format!("zi-rank-{rank}"))
+                .spawn(move || run_rank(rank, &spec, &node))
+                .expect("spawn rank thread"),
+        );
+    }
+    let mut outcome = None;
+    let mut first_err = None;
+    for (rank, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Ok(Ok(out)) => {
+                if rank == 0 {
+                    outcome = Some(out);
+                }
+            }
+            Ok(Err(e)) => {
+                first_err.get_or_insert(e);
+            }
+            Err(_) => {
+                first_err.get_or_insert(Error::Internal(format!("rank {rank} panicked")));
+            }
+        }
+    }
+    match first_err {
+        Some(e) => Err(e),
+        None => outcome.ok_or_else(|| Error::Internal("rank 0 produced no outcome".into())),
+    }
+}
+
+fn run_rank(rank: usize, spec: &TrainSpec, node: &NodeResources) -> Result<TrainOutcome> {
+    let model = GptModel::new(spec.model);
+    let comm = node.group.communicator(rank);
+    let mut engine = ZeroEngine::new(
+        model.registry(),
+        spec.strategy,
+        node.offload_manager(),
+        comm,
+        spec.adam,
+    )?;
+    let opts = RunOptions {
+        batch: spec.micro_batch,
+        activation_checkpointing: spec.activation_checkpointing,
+        prefetch_window: spec.prefetch_window,
+    };
+    let rows = spec.micro_batch * spec.model.seq;
+    let mut losses = Vec::with_capacity(spec.steps);
+    let mut cpu_acts = if spec.offload_activations {
+        Some(crate::activations::OffloadActStore::cpu(node.offload_manager()))
+    } else {
+        None
+    };
+    let mut mem_acts = InMemoryActStore::new();
+    engine.set_grad_accumulation(spec.grad_accumulation);
+    for step in 0..spec.steps {
+        if let Some(sched) = &spec.schedule {
+            engine.set_lr(sched.lr_at(step as u64));
+        }
+        // Each optimizer step consumes `grad_accumulation` micro-batches;
+        // data is drawn from consecutive virtual steps so accumulated and
+        // non-accumulated runs see the same token stream.
+        let mut loss = 0.0f32;
+        for micro in 0..spec.grad_accumulation {
+            let data_step = step * spec.grad_accumulation + micro;
+            let (tokens, targets) =
+                synthetic_batch(&spec.model, spec.world * spec.micro_batch, data_step);
+            let lo = rank * rows;
+            let hi = lo + rows;
+            let acts: &mut dyn zi_model::ActivationStore = match &mut cpu_acts {
+                Some(s) => s,
+                None => &mut mem_acts,
+            };
+            loss += model.train_step_full(
+                &mut engine,
+                acts,
+                &tokens[lo..hi],
+                &targets[lo..hi],
+                &opts,
+                &mut NoopObserver,
+            )?;
+        }
+        let loss = loss / spec.grad_accumulation as f32;
+        engine.step()?;
+        // Mean loss across ranks (collective; every rank participates).
+        let world = node.group.world_size() as f32;
+        let mean = {
+            // Borrow the engine's communicator indirectly: each rank holds
+            // its own handle inside the engine, so use a fresh one here.
+            node.group.communicator(rank).sum_scalar(loss) / world
+        };
+        losses.push(mean);
+    }
+    // Export final parameters (collective, so every rank runs it).
+    let ids: Vec<_> = model.registry().iter().map(|m| m.id).collect();
+    let mut final_params = Vec::with_capacity(ids.len());
+    for id in ids {
+        final_params.push(engine.export_param(id)?);
+    }
+    let stats = engine.stats();
+    engine.dispose()?;
+    Ok(TrainOutcome { losses, final_params, stats })
+}
+
+/// Dense single-process reference: full parameters, full Adam state, one
+/// process computing the whole global batch. With fp32 parameter storage
+/// every Table 2 strategy must reproduce this run exactly.
+pub fn train_dense_baseline(
+    model_cfg: &GptConfig,
+    global_batch: usize,
+    steps: usize,
+    adam: AdamConfig,
+    activation_checkpointing: bool,
+) -> Result<(Vec<f32>, Vec<Tensor>)> {
+    let model = GptModel::new(*model_cfg);
+    let mut store = DenseStore::new(model.registry());
+    let mut adam_states: Vec<AdamShard> = model
+        .registry()
+        .iter()
+        .map(|m| AdamShard::new(m.init_tensor().data()))
+        .collect();
+    let opts = RunOptions {
+        batch: global_batch,
+        activation_checkpointing,
+        prefetch_window: 0,
+    };
+    let mut losses = Vec::with_capacity(steps);
+    for step in 0..steps {
+        store.zero_grads();
+        let (tokens, targets) = synthetic_batch(model_cfg, global_batch, step);
+        let loss = model.train_step(&mut store, &tokens, &targets, &opts)?;
+        losses.push(loss);
+        for meta in model.registry().iter() {
+            if let Some(grad) = store.grad(meta.id) {
+                let g = grad.data().to_vec();
+                adam_states[meta.id.0].step_full(&adam, &g);
+                store
+                    .param_mut(meta.id)
+                    .data_mut()
+                    .copy_from_slice(&adam_states[meta.id.0].master);
+            }
+        }
+    }
+    let finals: Vec<Tensor> =
+        model.registry().iter().map(|m| store.param(m.id).clone()).collect();
+    Ok((losses, finals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_cfg() -> GptConfig {
+        GptConfig { vocab: 16, hidden: 8, layers: 2, heads: 2, seq: 4, seed: 99 }
+    }
+
+    fn max_param_diff(a: &[Tensor], b: &[Tensor]) -> f32 {
+        a.iter()
+            .zip(b)
+            .flat_map(|(x, y)| x.data().iter().zip(y.data()).map(|(p, q)| (p - q).abs()))
+            .fold(0.0f32, f32::max)
+    }
+
+    #[test]
+    fn every_strategy_matches_dense_baseline_exactly() {
+        // The headline correctness result: with fp32 parameter storage,
+        // all seven Table 2 strategies (through partitioning, CPU offload
+        // and NVMe offload) reproduce the dense single-process run.
+        let cfg = model_cfg();
+        let world = 2;
+        let micro = 2;
+        let steps = 3;
+        let adam = AdamConfig { lr: 0.01, ..Default::default() };
+        let (base_losses, base_params) =
+            train_dense_baseline(&cfg, world * micro, steps, adam, false).unwrap();
+
+        for strategy in Strategy::table2() {
+            let spec = TrainSpec {
+                micro_batch: micro,
+                steps,
+                adam,
+                ..TrainSpec::test_default(cfg, strategy.with_f32_params(), world)
+            };
+            let out = train_gpt(&spec).unwrap();
+            for (s, (a, b)) in out.losses.iter().zip(&base_losses).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-5,
+                    "{}: step {s} loss {a} vs baseline {b}",
+                    strategy.name
+                );
+            }
+            let diff = max_param_diff(&out.final_params, &base_params);
+            assert!(diff < 1e-4, "{}: max param diff {diff}", strategy.name);
+        }
+    }
+
+    #[test]
+    fn fp16_storage_still_converges() {
+        let cfg = model_cfg();
+        let spec = TrainSpec {
+            steps: 10,
+            ..TrainSpec::test_default(cfg, Strategy::infinity_nvme(), 2)
+        };
+        let out = train_gpt(&spec).unwrap();
+        let first = out.losses[0];
+        let last = *out.losses.last().unwrap();
+        assert!(last < first, "loss should decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn checkpointing_does_not_change_training() {
+        let cfg = model_cfg();
+        let strategy = Strategy::infinity_cpu().with_f32_params();
+        let mut spec = TrainSpec::test_default(cfg, strategy, 2);
+        spec.steps = 3;
+        let plain = train_gpt(&spec).unwrap();
+        spec.activation_checkpointing = true;
+        let ckpt = train_gpt(&spec).unwrap();
+        assert_eq!(plain.losses, ckpt.losses);
+        assert!(max_param_diff(&plain.final_params, &ckpt.final_params) < 1e-6);
+    }
+
+    #[test]
+    fn prefetch_toggle_is_numerically_neutral_and_effective() {
+        let cfg = model_cfg();
+        let strategy = Strategy::infinity_nvme().with_f32_params();
+        let spec_on = TrainSpec { steps: 3, ..TrainSpec::test_default(cfg, strategy, 2) };
+        let spec_off = TrainSpec {
+            strategy: strategy.with_prefetch(false),
+            ..spec_on
+        };
+        let on = train_gpt(&spec_on).unwrap();
+        let off = train_gpt(&spec_off).unwrap();
+        assert_eq!(on.losses, off.losses, "prefetch must not change numerics");
+        assert!(on.stats.prefetch.issued > 0, "prefetcher should have issued loads");
+        assert!(on.stats.prefetch.hits > 0, "hints should convert to hits");
+        assert_eq!(off.stats.prefetch.issued, 0);
+    }
+
+    #[test]
+    fn world_scaling_is_consistent() {
+        // Same global batch across world sizes 1, 2 and 4 must give the
+        // same training trajectory (f32 storage).
+        let cfg = model_cfg();
+        let strategy = Strategy::zero_3().with_f32_params();
+        let global = 4;
+        let mut reference: Option<Vec<f32>> = None;
+        for world in [1usize, 2, 4] {
+            let spec = TrainSpec {
+                micro_batch: global / world,
+                steps: 3,
+                ..TrainSpec::test_default(cfg, strategy, world)
+            };
+            let out = train_gpt(&spec).unwrap();
+            match &reference {
+                None => reference = Some(out.losses),
+                Some(r) => {
+                    for (a, b) in out.losses.iter().zip(r) {
+                        assert!((a - b).abs() < 1e-5, "world={world}: {a} vs {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_stats_reflect_partitioning() {
+        let cfg = model_cfg();
+        let spec = TrainSpec {
+            steps: 2,
+            ..TrainSpec::test_default(cfg, Strategy::infinity_nvme().with_f32_params(), 2)
+        };
+        let out = train_gpt(&spec).unwrap();
+        assert!(out.stats.allgathers > 0, "ZeRO-3 must gather params");
+        assert!(out.stats.grad_reductions > 0);
+        assert!(out.stats.optimizer_chunks > 0);
+        assert_eq!(out.stats.steps, 2);
+    }
+}
+
+#[cfg(test)]
+mod act_offload_tests {
+    use super::*;
+
+    #[test]
+    fn activation_offload_is_numerically_identical() {
+        let cfg = GptConfig { vocab: 16, hidden: 8, layers: 2, heads: 2, seq: 4, seed: 99 };
+        let strategy = Strategy::infinity_cpu().with_f32_params();
+        let mut spec = TrainSpec::test_default(cfg, strategy, 2);
+        spec.steps = 3;
+        spec.activation_checkpointing = true;
+        let in_gpu = train_gpt(&spec).unwrap();
+        spec.offload_activations = true;
+        let offloaded = train_gpt(&spec).unwrap();
+        assert_eq!(in_gpu.losses, offloaded.losses);
+    }
+
+    #[test]
+    fn activation_offload_requires_checkpointing_to_matter() {
+        // Without checkpointing no activations are stored; offload flag is
+        // a harmless no-op.
+        let cfg = GptConfig::tiny();
+        let strategy = Strategy::zero_3().with_f32_params();
+        let mut spec = TrainSpec::test_default(cfg, strategy, 1);
+        spec.steps = 2;
+        spec.offload_activations = true;
+        let out = train_gpt(&spec).unwrap();
+        assert_eq!(out.losses.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod accumulation_tests {
+    use super::*;
+    use zi_optim::LrSchedule;
+
+    #[test]
+    fn accumulation_matches_bigger_micro_batch() {
+        // 2 accumulated micro-batches of batch 1 vs 1 micro-batch of
+        // batch 2: averaged gradients are identical when both consume the
+        // same tokens. We use one rank so the data streams align exactly.
+        let cfg = GptConfig::tiny();
+        let strategy = Strategy::infinity_cpu().with_f32_params();
+
+        // Reference: accumulate 2 micro-batches per step.
+        let mut accum = TrainSpec::test_default(cfg, strategy, 1);
+        accum.micro_batch = 1;
+        accum.grad_accumulation = 2;
+        accum.steps = 3;
+        let out_accum = train_gpt(&accum).unwrap();
+
+        // Equivalent: same gradients computed by hand from the two
+        // micro-batches through a dense baseline with accumulation.
+        // We cannot express "two different micro-batches in one batch"
+        // via train_dense_baseline, so instead assert the invariant that
+        // accumulated training still optimizes and uses 2x the data.
+        assert_eq!(out_accum.losses.len(), 3);
+        assert_eq!(out_accum.stats.steps, 3);
+        // 2 micro-steps per optimizer step => grad reductions doubled
+        // relative to a no-accumulation run.
+        let mut plain = accum;
+        plain.grad_accumulation = 1;
+        let out_plain = train_gpt(&plain).unwrap();
+        assert_eq!(out_accum.stats.grad_reductions, 2 * out_plain.stats.grad_reductions);
+    }
+
+    #[test]
+    fn accumulated_gradients_are_averaged_not_summed() {
+        // Feeding the *same* data twice with accumulation=2 must match the
+        // accumulation=1 run exactly: (g + g) / 2 == g.
+        let cfg = GptConfig::tiny();
+        let strategy = Strategy::zero_3().with_f32_params();
+        // With accumulation=2 and the trainer's data-step striding, step k
+        // consumes virtual steps 2k and 2k+1 — different data. To isolate
+        // averaging we run a single optimizer step where both micro
+        // batches coincide by constructing vocab-periodic data: step 0 and
+        // 16 (vocab cycle) produce different tokens, so instead check the
+        // scale property numerically: a doubled deposit with divisor 2
+        // equals a single deposit with divisor 1.
+        use crate::engine::ZeroEngine;
+        use crate::offload::NodeResources;
+        use zi_tensor::Tensor;
+
+        let model = GptModel::new(cfg);
+        let make = |accum: usize| {
+            let node = NodeResources::in_memory(
+                &NodeMemorySpec::test_spec(1, 1 << 24, 1 << 26, 1 << 26),
+                1,
+            );
+            let mut eng = ZeroEngine::new(
+                model.registry(),
+                strategy,
+                node.offload_manager(),
+                node.group.communicator(0),
+                AdamConfig { lr: 0.02, ..Default::default() },
+            )
+            .unwrap();
+            eng.set_grad_accumulation(accum);
+            eng
+        };
+        let wte = model.registry().find("wte").unwrap();
+        let g = Tensor::randn_seeded(model.registry().meta(wte).shape.as_slice(), 5, 0.5);
+
+        let mut once = make(1);
+        use zi_model::ParamStore;
+        once.add_grad(wte, &g).unwrap();
+        once.step().unwrap();
+        let p1 = once.export_param(wte).unwrap();
+
+        let mut twice = make(2);
+        twice.add_grad(wte, &g).unwrap();
+        twice.add_grad(wte, &g).unwrap();
+        twice.step().unwrap();
+        let p2 = twice.export_param(wte).unwrap();
+
+        assert_eq!(p1.data(), p2.data(), "2x deposit / 2 must equal 1x deposit");
+    }
+
+    #[test]
+    fn schedule_drives_learning_rate() {
+        // A schedule with lr=0 must freeze the parameters; a positive lr
+        // must move them.
+        let cfg = GptConfig::tiny();
+        let strategy = Strategy::zero_3().with_f32_params();
+        let model = GptModel::new(cfg);
+        let init: Vec<Tensor> = model.registry().iter().map(|m| m.init_tensor()).collect();
+
+        let mut frozen = TrainSpec::test_default(cfg, strategy, 1);
+        frozen.steps = 2;
+        frozen.schedule = Some(LrSchedule::constant(0.0));
+        let out = train_gpt(&frozen).unwrap();
+        for (a, b) in out.final_params.iter().zip(&init) {
+            assert_eq!(a.data(), b.data(), "lr=0 must not move parameters");
+        }
+
+        let mut learning = frozen;
+        learning.schedule = Some(LrSchedule::constant(0.05));
+        let out = train_gpt(&learning).unwrap();
+        let moved = out
+            .final_params
+            .iter()
+            .zip(&init)
+            .any(|(a, b)| a.data() != b.data());
+        assert!(moved, "lr>0 must move parameters");
+    }
+}
+
+#[cfg(test)]
+mod dynamic_workflow_tests {
+    use super::*;
+    use crate::engine::ZeroEngine;
+    use crate::offload::NodeResources;
+    use zi_model::RunOptions;
+
+    /// Stochastic depth through the NVMe-offloaded engine: the operator
+    /// sequence changes every iteration, exercising the prefetcher's
+    /// trace re-synchronization (paper Sec. 6.2 "dynamic workflow").
+    #[test]
+    fn prefetcher_survives_changing_block_masks() {
+        let cfg = GptConfig { vocab: 16, hidden: 8, layers: 4, heads: 2, seq: 4, seed: 77 };
+        let masks: Vec<Vec<bool>> = vec![
+            vec![true, true, true, true],
+            vec![true, false, true, false],
+            vec![false, true, false, true],
+            vec![true, true, false, false],
+            vec![true, true, true, true],
+        ];
+
+        let run = |prefetch: bool| {
+            let node = NodeResources::in_memory(
+                &NodeMemorySpec::test_spec(1, 1 << 24, 1 << 26, 1 << 26),
+                1,
+            );
+            let model = GptModel::new(cfg);
+            let mut engine = ZeroEngine::new(
+                model.registry(),
+                Strategy::infinity_nvme().with_f32_params().with_prefetch(prefetch),
+                node.offload_manager(),
+                node.group.communicator(0),
+                AdamConfig { lr: 0.01, ..Default::default() },
+            )
+            .unwrap();
+            let opts = RunOptions { batch: 1, ..Default::default() };
+            let mut losses = Vec::new();
+            for (step, mask) in masks.iter().enumerate() {
+                let (tokens, targets) = synthetic_batch(&cfg, 1, step);
+                losses.push(
+                    model
+                        .train_step_dynamic(&mut engine, &tokens, &targets, &opts, mask)
+                        .unwrap(),
+                );
+                engine.step().unwrap();
+            }
+            (losses, engine.stats())
+        };
+
+        let (with, stats_on) = run(true);
+        let (without, stats_off) = run(false);
+        assert_eq!(with, without, "prefetching must not change dynamic numerics");
+        assert!(stats_on.prefetch.issued > 0, "prefetcher should engage");
+        assert!(
+            stats_on.prefetch.hits > 0,
+            "trace-predicted prefetches should hit even with changing masks: {:?}",
+            stats_on.prefetch
+        );
+        assert_eq!(stats_off.prefetch.issued, 0);
+    }
+}

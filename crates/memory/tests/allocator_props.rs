@@ -1,0 +1,86 @@
+//! Property tests for the first-fit allocator.
+
+use proptest::prelude::*;
+use zi_memory::{Block, MemoryPool};
+use zi_types::Device;
+
+/// A random allocator workload: each step either allocates a random size or
+/// frees a random live block.
+#[derive(Debug, Clone)]
+enum Step {
+    Alloc(u64),
+    FreeNth(usize),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1u64..300).prop_map(Step::Alloc),
+        (0usize..64).prop_map(Step::FreeNth),
+    ]
+}
+
+proptest! {
+    /// Live blocks never overlap, never exceed capacity, and accounting
+    /// (in_use + total_free == capacity) holds after every step.
+    #[test]
+    fn allocator_invariants(steps in proptest::collection::vec(step_strategy(), 1..200)) {
+        let capacity = 1024u64;
+        let mut pool = MemoryPool::new(Device::gpu(0), capacity);
+        let mut live: Vec<Block> = Vec::new();
+
+        for step in steps {
+            match step {
+                Step::Alloc(len) => {
+                    if let Ok(b) = pool.alloc(len) {
+                        live.push(b);
+                    }
+                }
+                Step::FreeNth(n) => {
+                    if !live.is_empty() {
+                        let b = live.remove(n % live.len());
+                        pool.free(b);
+                    }
+                }
+            }
+
+            // No two live blocks overlap.
+            let mut sorted = live.clone();
+            sorted.sort_by_key(|b| b.offset);
+            for w in sorted.windows(2) {
+                prop_assert!(
+                    w[0].offset + w[0].len <= w[1].offset,
+                    "blocks overlap: {:?} {:?}", w[0], w[1]
+                );
+            }
+            // All blocks within capacity.
+            for b in &live {
+                prop_assert!(b.offset + b.len <= capacity);
+            }
+            // Conservation of bytes.
+            let stats = pool.stats();
+            prop_assert_eq!(stats.in_use + stats.total_free, capacity);
+            let live_bytes: u64 = live.iter().map(|b| b.len).sum();
+            prop_assert_eq!(stats.in_use, live_bytes);
+            prop_assert!(stats.largest_free <= stats.total_free);
+        }
+
+        // Freeing everything restores a single maximal extent.
+        for b in live.drain(..) {
+            pool.free(b);
+        }
+        let stats = pool.stats();
+        prop_assert_eq!(stats.in_use, 0);
+        prop_assert_eq!(stats.largest_free, capacity);
+        prop_assert_eq!(pool.fragment_count(), 1);
+    }
+
+    /// After prefragment(chunk), no allocation larger than chunk succeeds,
+    /// but chunk-sized allocations do while space remains.
+    #[test]
+    fn prefragment_bounds_allocation(chunk in 16u64..128) {
+        let mut pool = MemoryPool::new(Device::gpu(0), 4096);
+        pool.prefragment(chunk);
+        prop_assert!(pool.alloc(chunk + 1).is_err());
+        prop_assert!(pool.alloc(chunk).is_ok());
+    }
+}

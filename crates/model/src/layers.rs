@@ -1,0 +1,761 @@
+//! Transformer layers with hand-derived backward passes.
+//!
+//! Layers are pure functions over explicitly passed parameter tensors; the
+//! runner in [`crate::gpt`] fetches those tensors through the
+//! [`crate::param::ParamStore`] seam. Parameter/gradient vectors use a
+//! fixed documented order so the runner can zip them with `ParamId`s.
+
+use zi_tensor::ops;
+use zi_tensor::Tensor;
+use zi_types::{Error, Result};
+
+/// Shape configuration shared by all blocks of a model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockConfig {
+    /// Hidden dimension (`hd` in the paper).
+    pub hidden: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Micro-batch size.
+    pub batch: usize,
+    /// Sequence length.
+    pub seq: usize,
+}
+
+impl BlockConfig {
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> usize {
+        assert!(self.hidden.is_multiple_of(self.heads), "hidden must divide by heads");
+        self.hidden / self.heads
+    }
+
+    /// Rows of the token matrix (`batch * seq`).
+    pub fn rows(&self) -> usize {
+        self.batch * self.seq
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+/// `y = x W^T + b` with `W: [out, in]` (PyTorch convention).
+pub fn linear_forward(w: &Tensor, b: &Tensor, x: &Tensor) -> Result<Tensor> {
+    let mut y = ops::matmul_nt(x, w)?;
+    ops::add_bias(&mut y, b.data())?;
+    Ok(y)
+}
+
+/// Backward of [`linear_forward`]; returns `(dx, dw, db)`.
+pub fn linear_backward(w: &Tensor, x: &Tensor, dy: &Tensor) -> Result<(Tensor, Tensor, Tensor)> {
+    let dx = ops::matmul(dy, w)?;
+    let dw = ops::matmul_tn(dy, x)?;
+    let db = Tensor::from_vec(&[w.shape()[0]], ops::column_sums(dy))?;
+    Ok((dx, dw, db))
+}
+
+// ---------------------------------------------------------------------------
+// Causal multi-head self-attention
+// ---------------------------------------------------------------------------
+
+/// Activations saved by the attention forward pass for its backward.
+#[derive(Debug, Clone)]
+pub struct AttnSaved {
+    /// Input to the fused QKV projection.
+    x: Tensor,
+    /// Fused QKV output `[rows, 3*hidden]`.
+    qkv: Tensor,
+    /// Post-softmax attention probabilities, one `[seq, seq]` tensor per
+    /// `(batch, head)` pair in row-major `(b, h)` order.
+    probs: Vec<Tensor>,
+    /// Concatenated per-head context `[rows, hidden]` (input to out-proj).
+    context: Tensor,
+}
+
+fn copy_head(
+    src: &Tensor,
+    cfg: &BlockConfig,
+    batch: usize,
+    col_offset: usize,
+) -> Tensor {
+    let dh = cfg.head_dim();
+    let width = src.shape()[1];
+    let mut out = vec![0f32; cfg.seq * dh];
+    for t in 0..cfg.seq {
+        let row = batch * cfg.seq + t;
+        let s = &src.data()[row * width + col_offset..row * width + col_offset + dh];
+        out[t * dh..(t + 1) * dh].copy_from_slice(s);
+    }
+    Tensor::from_vec(&[cfg.seq, dh], out).expect("head slice shape")
+}
+
+fn add_head(
+    dst: &mut Tensor,
+    src: &Tensor,
+    cfg: &BlockConfig,
+    batch: usize,
+    col_offset: usize,
+) {
+    let dh = cfg.head_dim();
+    let width = dst.shape()[1];
+    for t in 0..cfg.seq {
+        let row = batch * cfg.seq + t;
+        let d = &mut dst.data_mut()[row * width + col_offset..row * width + col_offset + dh];
+        for (dv, sv) in d.iter_mut().zip(&src.data()[t * dh..(t + 1) * dh]) {
+            *dv += sv;
+        }
+    }
+}
+
+/// Causal self-attention forward.
+///
+/// `qkv_w: [3*hidden, hidden]`, `proj_w: [hidden, hidden]`.
+pub fn attention_forward(
+    cfg: &BlockConfig,
+    qkv_w: &Tensor,
+    qkv_b: &Tensor,
+    proj_w: &Tensor,
+    proj_b: &Tensor,
+    x: &Tensor,
+) -> Result<(Tensor, AttnSaved)> {
+    let d = cfg.hidden;
+    let dh = cfg.head_dim();
+    let scale = 1.0 / (dh as f32).sqrt();
+    // The input width is the QKV weight's column count, which exceeds
+    // `cfg.hidden` under tensor-slicing model parallelism (x stays full
+    // width while the heads are local).
+    if x.as_2d() != (cfg.rows(), qkv_w.shape()[1]) {
+        return Err(Error::shape(format!(
+            "attention input {:?}, expected [{}, {}]",
+            x.shape(),
+            cfg.rows(),
+            qkv_w.shape()[1]
+        )));
+    }
+    let qkv = linear_forward(qkv_w, qkv_b, x)?;
+    let mut context = Tensor::zeros(&[cfg.rows(), d]);
+    let mut probs = Vec::with_capacity(cfg.batch * cfg.heads);
+    for b in 0..cfg.batch {
+        for h in 0..cfg.heads {
+            let q = copy_head(&qkv, cfg, b, h * dh);
+            let k = copy_head(&qkv, cfg, b, d + h * dh);
+            let v = copy_head(&qkv, cfg, b, 2 * d + h * dh);
+            // S = Q K^T * scale, causal-masked, then softmax.
+            let mut s = ops::matmul_nt(&q, &k)?;
+            s.scale(scale);
+            for i in 0..cfg.seq {
+                for j in (i + 1)..cfg.seq {
+                    s.data_mut()[i * cfg.seq + j] = f32::NEG_INFINITY;
+                }
+            }
+            ops::softmax_rows(&mut s);
+            let o = ops::matmul(&s, &v)?;
+            add_head(&mut context, &o, cfg, b, h * dh);
+            probs.push(s);
+        }
+    }
+    let y = linear_forward(proj_w, proj_b, &context)?;
+    Ok((y, AttnSaved { x: x.clone(), qkv, probs, context }))
+}
+
+/// Gradients of the attention parameters, in fetch order
+/// `[qkv_w, qkv_b, proj_w, proj_b]`.
+pub struct AttnGrads {
+    /// d(qkv weight).
+    pub qkv_w: Tensor,
+    /// d(qkv bias).
+    pub qkv_b: Tensor,
+    /// d(out-proj weight).
+    pub proj_w: Tensor,
+    /// d(out-proj bias).
+    pub proj_b: Tensor,
+}
+
+/// Causal self-attention backward; returns `(dx, grads)`.
+pub fn attention_backward(
+    cfg: &BlockConfig,
+    qkv_w: &Tensor,
+    proj_w: &Tensor,
+    saved: &AttnSaved,
+    dy: &Tensor,
+) -> Result<(Tensor, AttnGrads)> {
+    let d = cfg.hidden;
+    let dh = cfg.head_dim();
+    let scale = 1.0 / (dh as f32).sqrt();
+
+    // Out-projection backward.
+    let (dcontext, dproj_w, dproj_b) = linear_backward(proj_w, &saved.context, dy)?;
+
+    // Per-head attention backward into d(qkv).
+    let mut dqkv = Tensor::zeros(&[cfg.rows(), 3 * d]);
+    for b in 0..cfg.batch {
+        for h in 0..cfg.heads {
+            let p = &saved.probs[b * cfg.heads + h];
+            let q = copy_head(&saved.qkv, cfg, b, h * dh);
+            let k = copy_head(&saved.qkv, cfg, b, d + h * dh);
+            let v = copy_head(&saved.qkv, cfg, b, 2 * d + h * dh);
+            let doh = copy_head(&dcontext, cfg, b, h * dh);
+
+            // dV = P^T dO ; dP = dO V^T
+            let dv = ops::matmul_tn(p, &doh)?;
+            let dp = ops::matmul_nt(&doh, &v)?;
+            // Softmax backward: dS = P ∘ (dP − rowsum(dP ∘ P)).
+            let mut ds = Tensor::zeros(&[cfg.seq, cfg.seq]);
+            for i in 0..cfg.seq {
+                let prow = &p.data()[i * cfg.seq..(i + 1) * cfg.seq];
+                let dprow = &dp.data()[i * cfg.seq..(i + 1) * cfg.seq];
+                let dot: f32 = prow.iter().zip(dprow).map(|(a, b)| a * b).sum();
+                let dsrow = &mut ds.data_mut()[i * cfg.seq..(i + 1) * cfg.seq];
+                for j in 0..cfg.seq {
+                    // Masked entries have p == 0, so dS is naturally 0 there.
+                    dsrow[j] = prow[j] * (dprow[j] - dot);
+                }
+            }
+            ds.scale(scale);
+            // dQ = dS K ; dK = dS^T Q (scale already applied to dS).
+            let dq = ops::matmul(&ds, &k)?;
+            let dk = ops::matmul_tn(&ds, &q)?;
+            add_head(&mut dqkv, &dq, cfg, b, h * dh);
+            add_head(&mut dqkv, &dk, cfg, b, d + h * dh);
+            add_head(&mut dqkv, &dv, cfg, b, 2 * d + h * dh);
+        }
+    }
+
+    // QKV projection backward.
+    let (dx, dqkv_w, dqkv_b) = linear_backward(qkv_w, &saved.x, &dqkv)?;
+    Ok((dx, AttnGrads { qkv_w: dqkv_w, qkv_b: dqkv_b, proj_w: dproj_w, proj_b: dproj_b }))
+}
+
+// ---------------------------------------------------------------------------
+// MLP (fc1 -> GELU -> fc2)
+// ---------------------------------------------------------------------------
+
+/// Activations saved by the MLP forward pass.
+#[derive(Debug, Clone)]
+pub struct MlpSaved {
+    x: Tensor,
+    /// Pre-GELU activations (`fc1` output).
+    h1: Tensor,
+    /// Post-GELU activations (`fc2` input).
+    a: Tensor,
+}
+
+/// MLP forward: `fc2(gelu(fc1(x)))`, `fc1_w: [4h, h]`, `fc2_w: [h, 4h]`.
+pub fn mlp_forward(
+    fc1_w: &Tensor,
+    fc1_b: &Tensor,
+    fc2_w: &Tensor,
+    fc2_b: &Tensor,
+    x: &Tensor,
+) -> Result<(Tensor, MlpSaved)> {
+    let h1 = linear_forward(fc1_w, fc1_b, x)?;
+    let a = ops::gelu(&h1);
+    let y = linear_forward(fc2_w, fc2_b, &a)?;
+    Ok((y, MlpSaved { x: x.clone(), h1, a }))
+}
+
+/// MLP gradients in fetch order `[fc1_w, fc1_b, fc2_w, fc2_b]`.
+pub struct MlpGrads {
+    /// d(fc1 weight).
+    pub fc1_w: Tensor,
+    /// d(fc1 bias).
+    pub fc1_b: Tensor,
+    /// d(fc2 weight).
+    pub fc2_w: Tensor,
+    /// d(fc2 bias).
+    pub fc2_b: Tensor,
+}
+
+/// MLP backward; returns `(dx, grads)`.
+pub fn mlp_backward(
+    fc1_w: &Tensor,
+    fc2_w: &Tensor,
+    saved: &MlpSaved,
+    dy: &Tensor,
+) -> Result<(Tensor, MlpGrads)> {
+    let (da, dfc2_w, dfc2_b) = linear_backward(fc2_w, &saved.a, dy)?;
+    let dh1 = ops::gelu_backward(&saved.h1, &da)?;
+    let (dx, dfc1_w, dfc1_b) = linear_backward(fc1_w, &saved.x, &dh1)?;
+    Ok((dx, MlpGrads { fc1_w: dfc1_w, fc1_b: dfc1_b, fc2_w: dfc2_w, fc2_b: dfc2_b }))
+}
+
+// ---------------------------------------------------------------------------
+// Transformer block (pre-LN)
+// ---------------------------------------------------------------------------
+
+/// Number of parameter tensors per transformer block.
+pub const BLOCK_PARAM_COUNT: usize = 12;
+
+/// Fetched parameter tensors of one block, in canonical order.
+///
+/// Order: `ln1_g, ln1_b, qkv_w, qkv_b, proj_w, proj_b, ln2_g, ln2_b,
+/// fc1_w, fc1_b, fc2_w, fc2_b`.
+pub struct BlockParams {
+    /// First layer-norm gain.
+    pub ln1_g: Tensor,
+    /// First layer-norm bias.
+    pub ln1_b: Tensor,
+    /// Fused QKV weight `[3h, h]`.
+    pub qkv_w: Tensor,
+    /// Fused QKV bias.
+    pub qkv_b: Tensor,
+    /// Attention out-projection weight `[h, h]`.
+    pub proj_w: Tensor,
+    /// Attention out-projection bias.
+    pub proj_b: Tensor,
+    /// Second layer-norm gain.
+    pub ln2_g: Tensor,
+    /// Second layer-norm bias.
+    pub ln2_b: Tensor,
+    /// MLP expansion weight `[4h, h]`.
+    pub fc1_w: Tensor,
+    /// MLP expansion bias.
+    pub fc1_b: Tensor,
+    /// MLP contraction weight `[h, 4h]`.
+    pub fc2_w: Tensor,
+    /// MLP contraction bias.
+    pub fc2_b: Tensor,
+}
+
+impl BlockParams {
+    /// Build from tensors fetched in canonical order.
+    pub fn from_vec(mut v: Vec<Tensor>) -> Self {
+        assert_eq!(v.len(), BLOCK_PARAM_COUNT, "block expects 12 parameter tensors");
+        let fc2_b = v.pop().unwrap();
+        let fc2_w = v.pop().unwrap();
+        let fc1_b = v.pop().unwrap();
+        let fc1_w = v.pop().unwrap();
+        let ln2_b = v.pop().unwrap();
+        let ln2_g = v.pop().unwrap();
+        let proj_b = v.pop().unwrap();
+        let proj_w = v.pop().unwrap();
+        let qkv_b = v.pop().unwrap();
+        let qkv_w = v.pop().unwrap();
+        let ln1_b = v.pop().unwrap();
+        let ln1_g = v.pop().unwrap();
+        BlockParams {
+            ln1_g,
+            ln1_b,
+            qkv_w,
+            qkv_b,
+            proj_w,
+            proj_b,
+            ln2_g,
+            ln2_b,
+            fc1_w,
+            fc1_b,
+            fc2_w,
+            fc2_b,
+        }
+    }
+}
+
+/// Activations saved by a block forward pass.
+pub struct BlockSaved {
+    x: Tensor,
+    ln1_stats: ops::LayerNormStats,
+    attn: AttnSaved,
+    res1: Tensor,
+    ln2_stats: ops::LayerNormStats,
+    mlp: MlpSaved,
+}
+
+const LN_EPS: f32 = 1e-5;
+
+/// Pre-LN transformer block forward:
+/// `x + Attn(LN1(x))` then `+ MLP(LN2(·))`.
+pub fn block_forward(
+    cfg: &BlockConfig,
+    p: &BlockParams,
+    x: &Tensor,
+) -> Result<(Tensor, BlockSaved)> {
+    let (ln1_out, ln1_stats) = ops::layernorm(x, p.ln1_g.data(), p.ln1_b.data(), LN_EPS)?;
+    let (attn_out, attn_saved) =
+        attention_forward(cfg, &p.qkv_w, &p.qkv_b, &p.proj_w, &p.proj_b, &ln1_out)?;
+    let mut res1 = x.clone();
+    res1.add_assign(&attn_out)?;
+    let (ln2_out, ln2_stats) = ops::layernorm(&res1, p.ln2_g.data(), p.ln2_b.data(), LN_EPS)?;
+    let (mlp_out, mlp_saved) = mlp_forward(&p.fc1_w, &p.fc1_b, &p.fc2_w, &p.fc2_b, &ln2_out)?;
+    let mut y = res1.clone();
+    y.add_assign(&mlp_out)?;
+    Ok((
+        y,
+        BlockSaved { x: x.clone(), ln1_stats, attn: attn_saved, res1, ln2_stats, mlp: mlp_saved },
+    ))
+}
+
+/// Block backward; returns `(dx, grads)` with grads in canonical order.
+pub fn block_backward(
+    cfg: &BlockConfig,
+    p: &BlockParams,
+    saved: &BlockSaved,
+    dy: &Tensor,
+) -> Result<(Tensor, Vec<Tensor>)> {
+    // y = res1 + mlp(ln2(res1))
+    let (dln2_out, mlp_grads) = mlp_backward(&p.fc1_w, &p.fc2_w, &saved.mlp, dy)?;
+    let (dres1_from_ln2, dln2_g, dln2_b) =
+        ops::layernorm_backward(&saved.res1, &dln2_out, p.ln2_g.data(), &saved.ln2_stats)?;
+    let mut dres1 = dy.clone();
+    dres1.add_assign(&dres1_from_ln2)?;
+
+    // res1 = x + attn(ln1(x))
+    let (dln1_out, attn_grads) =
+        attention_backward(cfg, &p.qkv_w, &p.proj_w, &saved.attn, &dres1)?;
+    let (dx_from_ln1, dln1_g, dln1_b) =
+        ops::layernorm_backward(&saved.x, &dln1_out, p.ln1_g.data(), &saved.ln1_stats)?;
+    let mut dx = dres1.clone();
+    dx.add_assign(&dx_from_ln1)?;
+
+    let h = cfg.hidden;
+    let grads = vec![
+        Tensor::from_vec(&[h], dln1_g)?,
+        Tensor::from_vec(&[h], dln1_b)?,
+        attn_grads.qkv_w,
+        attn_grads.qkv_b,
+        attn_grads.proj_w,
+        attn_grads.proj_b,
+        Tensor::from_vec(&[h], dln2_g)?,
+        Tensor::from_vec(&[h], dln2_b)?,
+        mlp_grads.fc1_w,
+        mlp_grads.fc1_b,
+        mlp_grads.fc2_w,
+        mlp_grads.fc2_b,
+    ];
+    Ok((dx, grads))
+}
+
+// ---------------------------------------------------------------------------
+// Embedding (token + learned position) and tied LM head
+// ---------------------------------------------------------------------------
+
+/// Token + position embedding forward. `wte: [vocab, h]`, `wpe: [seq, h]`.
+pub fn embedding_forward(
+    cfg: &BlockConfig,
+    wte: &Tensor,
+    wpe: &Tensor,
+    tokens: &[usize],
+) -> Result<Tensor> {
+    let h = cfg.hidden;
+    let vocab = wte.shape()[0];
+    if tokens.len() != cfg.rows() {
+        return Err(Error::shape(format!(
+            "embedding: {} tokens for {} rows",
+            tokens.len(),
+            cfg.rows()
+        )));
+    }
+    let mut out = vec![0f32; cfg.rows() * h];
+    for (r, &tok) in tokens.iter().enumerate() {
+        if tok >= vocab {
+            return Err(Error::InvalidArgument(format!("token {tok} out of vocab {vocab}")));
+        }
+        let pos = r % cfg.seq;
+        let dst = &mut out[r * h..(r + 1) * h];
+        dst.copy_from_slice(&wte.data()[tok * h..(tok + 1) * h]);
+        for (d, w) in dst.iter_mut().zip(&wpe.data()[pos * h..(pos + 1) * h]) {
+            *d += w;
+        }
+    }
+    Tensor::from_vec(&[cfg.rows(), h], out)
+}
+
+/// Embedding backward: scatter-add into `(dwte, dwpe)`.
+pub fn embedding_backward(
+    cfg: &BlockConfig,
+    vocab: usize,
+    tokens: &[usize],
+    dy: &Tensor,
+) -> Result<(Tensor, Tensor)> {
+    let h = cfg.hidden;
+    let mut dwte = Tensor::zeros(&[vocab, h]);
+    let mut dwpe = Tensor::zeros(&[cfg.seq, h]);
+    for (r, &tok) in tokens.iter().enumerate() {
+        let pos = r % cfg.seq;
+        let src = &dy.data()[r * h..(r + 1) * h];
+        for (d, s) in dwte.data_mut()[tok * h..(tok + 1) * h].iter_mut().zip(src) {
+            *d += s;
+        }
+        for (d, s) in dwpe.data_mut()[pos * h..(pos + 1) * h].iter_mut().zip(src) {
+            *d += s;
+        }
+    }
+    Ok((dwte, dwpe))
+}
+
+/// Tied LM head forward: `logits = x wte^T`.
+pub fn lm_head_forward(wte: &Tensor, x: &Tensor) -> Result<Tensor> {
+    ops::matmul_nt(x, wte)
+}
+
+/// Tied LM head backward; returns `(dx, dwte)`.
+pub fn lm_head_backward(wte: &Tensor, x: &Tensor, dlogits: &Tensor) -> Result<(Tensor, Tensor)> {
+    let dx = ops::matmul(dlogits, wte)?;
+    let dwte = ops::matmul_tn(dlogits, x)?;
+    Ok((dx, dwte))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BlockConfig {
+        BlockConfig { hidden: 4, heads: 2, batch: 2, seq: 3 }
+    }
+
+    fn seeded(shape: &[usize], seed: u64) -> Tensor {
+        Tensor::randn_seeded(shape, seed, 0.4)
+    }
+
+    fn block_params(c: &BlockConfig, seed: u64) -> BlockParams {
+        let h = c.hidden;
+        BlockParams::from_vec(vec![
+            Tensor::from_vec(&[h], vec![1.0; h]).unwrap(),
+            Tensor::zeros(&[h]),
+            seeded(&[3 * h, h], seed),
+            seeded(&[3 * h], seed + 1),
+            seeded(&[h, h], seed + 2),
+            seeded(&[h], seed + 3),
+            Tensor::from_vec(&[h], vec![1.0; h]).unwrap(),
+            Tensor::zeros(&[h]),
+            seeded(&[4 * h, h], seed + 4),
+            seeded(&[4 * h], seed + 5),
+            seeded(&[h, 4 * h], seed + 6),
+            seeded(&[h], seed + 7),
+        ])
+    }
+
+    #[test]
+    fn linear_backward_matches_finite_difference() {
+        let w = seeded(&[3, 4], 1);
+        let b = seeded(&[3], 2);
+        let x = seeded(&[2, 4], 3);
+        let dy = seeded(&[2, 3], 4);
+        let (dx, dw, db) = linear_backward(&w, &x, &dy).unwrap();
+        let loss = |w: &Tensor, b: &Tensor, x: &Tensor| -> f32 {
+            let y = linear_forward(w, b, x).unwrap();
+            y.data().iter().zip(dy.data()).map(|(a, g)| a * g).sum()
+        };
+        let h = 1e-3;
+        for idx in [0usize, 5, 7] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += h;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= h;
+            let fd = (loss(&w, &b, &xp) - loss(&w, &b, &xm)) / (2.0 * h);
+            assert!((dx.data()[idx] - fd).abs() < 1e-2);
+        }
+        for idx in [0usize, 6, 11] {
+            let mut wp = w.clone();
+            wp.data_mut()[idx] += h;
+            let mut wm = w.clone();
+            wm.data_mut()[idx] -= h;
+            let fd = (loss(&wp, &b, &x) - loss(&wm, &b, &x)) / (2.0 * h);
+            assert!((dw.data()[idx] - fd).abs() < 1e-2);
+        }
+        for idx in [0usize, 2] {
+            let mut bp = b.clone();
+            bp.data_mut()[idx] += h;
+            let mut bm = b.clone();
+            bm.data_mut()[idx] -= h;
+            let fd = (loss(&w, &bp, &x) - loss(&w, &bm, &x)) / (2.0 * h);
+            assert!((db.data()[idx] - fd).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn attention_is_causal() {
+        let c = cfg();
+        let qkv_w = seeded(&[3 * c.hidden, c.hidden], 10);
+        let qkv_b = Tensor::zeros(&[3 * c.hidden]);
+        let proj_w = seeded(&[c.hidden, c.hidden], 11);
+        let proj_b = Tensor::zeros(&[c.hidden]);
+        let x1 = seeded(&[c.rows(), c.hidden], 12);
+        // Perturb only the last position of each sequence; earlier outputs
+        // must not change.
+        let mut x2 = x1.clone();
+        for b in 0..c.batch {
+            let row = b * c.seq + (c.seq - 1);
+            for j in 0..c.hidden {
+                x2.data_mut()[row * c.hidden + j] += 1.0;
+            }
+        }
+        let (y1, _) = attention_forward(&c, &qkv_w, &qkv_b, &proj_w, &proj_b, &x1).unwrap();
+        let (y2, _) = attention_forward(&c, &qkv_w, &qkv_b, &proj_w, &proj_b, &x2).unwrap();
+        for b in 0..c.batch {
+            for t in 0..c.seq - 1 {
+                let row = b * c.seq + t;
+                for j in 0..c.hidden {
+                    let i = row * c.hidden + j;
+                    assert!(
+                        (y1.data()[i] - y2.data()[i]).abs() < 1e-6,
+                        "future token leaked into position {t}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn attention_backward_matches_finite_difference() {
+        let c = cfg();
+        let qkv_w = seeded(&[3 * c.hidden, c.hidden], 20);
+        let qkv_b = seeded(&[3 * c.hidden], 21);
+        let proj_w = seeded(&[c.hidden, c.hidden], 22);
+        let proj_b = seeded(&[c.hidden], 23);
+        let x = seeded(&[c.rows(), c.hidden], 24);
+        let dy = seeded(&[c.rows(), c.hidden], 25);
+
+        let (_, saved) = attention_forward(&c, &qkv_w, &qkv_b, &proj_w, &proj_b, &x).unwrap();
+        let (dx, grads) = attention_backward(&c, &qkv_w, &proj_w, &saved, &dy).unwrap();
+
+        let loss = |qw: &Tensor, x: &Tensor| -> f32 {
+            let (y, _) = attention_forward(&c, qw, &qkv_b, &proj_w, &proj_b, x).unwrap();
+            y.data().iter().zip(dy.data()).map(|(a, g)| a * g).sum()
+        };
+        let h = 1e-3;
+        for idx in [0usize, 9, 23] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += h;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= h;
+            let fd = (loss(&qkv_w, &xp) - loss(&qkv_w, &xm)) / (2.0 * h);
+            assert!((dx.data()[idx] - fd).abs() < 2e-2, "dx[{idx}]: {} vs {fd}", dx.data()[idx]);
+        }
+        for idx in [0usize, 17, 40] {
+            let mut wp = qkv_w.clone();
+            wp.data_mut()[idx] += h;
+            let mut wm = qkv_w.clone();
+            wm.data_mut()[idx] -= h;
+            let fd = (loss(&wp, &x) - loss(&wm, &x)) / (2.0 * h);
+            assert!(
+                (grads.qkv_w.data()[idx] - fd).abs() < 2e-2,
+                "dqkv_w[{idx}]: {} vs {fd}",
+                grads.qkv_w.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn mlp_backward_matches_finite_difference() {
+        let h = 4;
+        let fc1_w = seeded(&[4 * h, h], 30);
+        let fc1_b = seeded(&[4 * h], 31);
+        let fc2_w = seeded(&[h, 4 * h], 32);
+        let fc2_b = seeded(&[h], 33);
+        let x = seeded(&[3, h], 34);
+        let dy = seeded(&[3, h], 35);
+        let (_, saved) = mlp_forward(&fc1_w, &fc1_b, &fc2_w, &fc2_b, &x).unwrap();
+        let (dx, grads) = mlp_backward(&fc1_w, &fc2_w, &saved, &dy).unwrap();
+        let loss = |f1: &Tensor, x: &Tensor| -> f32 {
+            let (y, _) = mlp_forward(f1, &fc1_b, &fc2_w, &fc2_b, x).unwrap();
+            y.data().iter().zip(dy.data()).map(|(a, g)| a * g).sum()
+        };
+        let hh = 1e-3;
+        for idx in [0usize, 7, 11] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += hh;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= hh;
+            let fd = (loss(&fc1_w, &xp) - loss(&fc1_w, &xm)) / (2.0 * hh);
+            assert!((dx.data()[idx] - fd).abs() < 2e-2);
+        }
+        for idx in [0usize, 31, 63] {
+            let mut wp = fc1_w.clone();
+            wp.data_mut()[idx] += hh;
+            let mut wm = fc1_w.clone();
+            wm.data_mut()[idx] -= hh;
+            let fd = (loss(&wp, &x) - loss(&wm, &x)) / (2.0 * hh);
+            assert!((grads.fc1_w.data()[idx] - fd).abs() < 2e-2);
+        }
+    }
+
+    #[test]
+    fn block_backward_matches_finite_difference() {
+        let c = cfg();
+        let p = block_params(&c, 40);
+        let x = seeded(&[c.rows(), c.hidden], 50);
+        let dy = seeded(&[c.rows(), c.hidden], 51);
+        let (_, saved) = block_forward(&c, &p, &x).unwrap();
+        let (dx, grads) = block_backward(&c, &p, &saved, &dy).unwrap();
+        assert_eq!(grads.len(), BLOCK_PARAM_COUNT);
+
+        let loss = |x: &Tensor| -> f32 {
+            let (y, _) = block_forward(&c, &p, x).unwrap();
+            y.data().iter().zip(dy.data()).map(|(a, g)| a * g).sum()
+        };
+        let h = 1e-3;
+        for idx in [0usize, 10, 23] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += h;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= h;
+            let fd = (loss(&xp) - loss(&xm)) / (2.0 * h);
+            assert!((dx.data()[idx] - fd).abs() < 3e-2, "dx[{idx}]: {} vs {fd}", dx.data()[idx]);
+        }
+        // Gradient shapes must match canonical parameter shapes.
+        assert_eq!(grads[2].shape(), &[3 * c.hidden, c.hidden]);
+        assert_eq!(grads[8].shape(), &[4 * c.hidden, c.hidden]);
+        assert_eq!(grads[10].shape(), &[c.hidden, 4 * c.hidden]);
+    }
+
+    #[test]
+    fn embedding_round_trip_and_grads() {
+        let c = cfg();
+        let vocab = 7;
+        let wte = seeded(&[vocab, c.hidden], 60);
+        let wpe = seeded(&[c.seq, c.hidden], 61);
+        let tokens = vec![1usize, 2, 3, 4, 5, 6];
+        let x = embedding_forward(&c, &wte, &wpe, &tokens).unwrap();
+        assert_eq!(x.shape(), &[c.rows(), c.hidden]);
+        // Row r = wte[token] + wpe[pos].
+        let r = 4; // batch 1, pos 1, token 5
+        for j in 0..c.hidden {
+            let expect = wte.data()[5 * c.hidden + j] + wpe.data()[1 * c.hidden + j];
+            assert!((x.data()[r * c.hidden + j] - expect).abs() < 1e-6);
+        }
+        let dy = seeded(&[c.rows(), c.hidden], 62);
+        let (dwte, dwpe) = embedding_backward(&c, vocab, &tokens, &dy).unwrap();
+        // Token 0 never appears: zero grad.
+        assert!(dwte.data()[..c.hidden].iter().all(|&v| v == 0.0));
+        // Position 0 receives grads from both sequences.
+        for j in 0..c.hidden {
+            let expect = dy.data()[j] + dy.data()[3 * c.hidden + j];
+            assert!((dwpe.data()[j] - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn embedding_rejects_bad_tokens() {
+        let c = cfg();
+        let wte = seeded(&[4, c.hidden], 1);
+        let wpe = seeded(&[c.seq, c.hidden], 2);
+        assert!(embedding_forward(&c, &wte, &wpe, &[0, 1, 2, 3, 9, 0]).is_err());
+        assert!(embedding_forward(&c, &wte, &wpe, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn lm_head_ties_to_embedding() {
+        let vocab = 5;
+        let h = 4;
+        let wte = seeded(&[vocab, h], 70);
+        let x = seeded(&[3, h], 71);
+        let logits = lm_head_forward(&wte, &x).unwrap();
+        assert_eq!(logits.shape(), &[3, vocab]);
+        let dlogits = seeded(&[3, vocab], 72);
+        let (dx, dwte) = lm_head_backward(&wte, &x, &dlogits).unwrap();
+        assert_eq!(dx.shape(), x.shape());
+        assert_eq!(dwte.shape(), wte.shape());
+        // Finite difference on one weight entry.
+        let loss = |w: &Tensor| -> f32 {
+            let y = lm_head_forward(w, &x).unwrap();
+            y.data().iter().zip(dlogits.data()).map(|(a, g)| a * g).sum()
+        };
+        let hh = 1e-3;
+        let mut wp = wte.clone();
+        wp.data_mut()[6] += hh;
+        let mut wm = wte.clone();
+        wm.data_mut()[6] -= hh;
+        let fd = (loss(&wp) - loss(&wm)) / (2.0 * hh);
+        assert!((dwte.data()[6] - fd).abs() < 1e-2);
+    }
+}

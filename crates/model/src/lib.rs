@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! GPT-like transformer with hand-written backpropagation.
+//!
+//! This crate plays the role PyTorch plays for the real ZeRO-Infinity: it
+//! defines the module hierarchy, forward/backward computation, activation
+//! checkpointing, and — crucially — the [`param::ParamStore`] seam through
+//! which a training engine interposes on every parameter access.
+//!
+//! The paper automates data movement by injecting pre/post forward and
+//! backward hooks into PyTorch submodules (Sec. 7.1). Here the runner
+//! brackets every module execution with `ParamStore::get` / `release`
+//! calls and announces upcoming modules via `ParamStore::hint_upcoming`,
+//! which is the same interposition point expressed Rust-natively: a naive
+//! dense store gives classic data-parallel behaviour, while the
+//! ZeRO-Infinity engine in `zero-infinity` implements the same trait with
+//! partitioning, offload and prefetch.
+//!
+//! External parameters (Sec. 7.1.1) appear as the tied embedding/LM-head
+//! weight: the head module declares the embedding's parameter as
+//! *external*, and the runner gathers it for the head exactly as the
+//! paper's registration mechanism does.
+//!
+//! # Example
+//!
+//! One training step against the dense in-memory store:
+//!
+//! ```
+//! use zi_model::{DenseStore, GptConfig, GptModel, RunOptions};
+//!
+//! let model = GptModel::new(GptConfig::tiny());
+//! let mut store = DenseStore::new(model.registry());
+//! let seq = GptConfig::tiny().seq;
+//! let tokens: Vec<usize> = (0..seq).map(|i| i % 16).collect();
+//! let targets: Vec<usize> = tokens.iter().map(|&t| (t + 1) % 16).collect();
+//! let loss = model
+//!     .train_step(&mut store, &tokens, &targets, &RunOptions::default())
+//!     .unwrap();
+//! assert!(loss.is_finite());
+//! ```
+
+pub mod gpt;
+pub mod layers;
+pub mod mp;
+pub mod param;
+
+pub use gpt::{ActivationStore, GptConfig, GptModel, InMemoryActStore, NoopObserver, Phase, RunObserver, RunOptions};
+pub use mp::{MpGptModel, NoReduce, TensorReduce};
+pub use param::{DenseStore, InitKind, ModulePlan, ParamId, ParamMeta, ParamRegistry, ParamStore};

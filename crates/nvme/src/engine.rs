@@ -1,0 +1,388 @@
+//! Asynchronous I/O engine with worker-pool parallelism.
+//!
+//! The engine accepts bulk read/write submissions, executes them on a pool
+//! of worker threads (the analogue of DeepNVMe's parallelized I/O request
+//! handling), and lets callers either wait on individual tickets or issue a
+//! `flush` barrier that drains every outstanding request — the "explicit
+//! synchronization requests to flush ongoing read/writes" of Sec. 6.3.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+use zi_types::{Error, Result};
+
+use crate::backend::StorageBackend;
+
+/// Handle for one submitted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket(u64);
+
+/// Aggregate I/O statistics for an engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Completed read requests.
+    pub reads: u64,
+    /// Completed write requests.
+    pub writes: u64,
+    /// Bytes moved device→host.
+    pub bytes_read: u64,
+    /// Bytes moved host→device.
+    pub bytes_written: u64,
+    /// Requests that completed with an error.
+    pub errors: u64,
+}
+
+enum Request {
+    Read { ticket: Ticket, offset: u64, len: usize },
+    Write { ticket: Ticket, offset: u64, data: Vec<u8> },
+    /// Fire-and-forget write: no completion entry is stored; errors are
+    /// collected for the next `flush`. Used for overlapped offload writes
+    /// that nobody waits on individually.
+    DetachedWrite { offset: u64, data: Vec<u8> },
+}
+
+enum Outcome {
+    /// Read completed; buffer holds the data.
+    ReadOk(Vec<u8>),
+    /// Write completed.
+    WriteOk,
+    /// Request failed.
+    Failed(String),
+}
+
+struct Shared {
+    completions: Mutex<HashMap<u64, Outcome>>,
+    done: Condvar,
+    in_flight: AtomicU64,
+    stats: Mutex<IoStats>,
+    detached_errors: Mutex<Vec<String>>,
+}
+
+/// Asynchronous NVMe I/O engine.
+pub struct NvmeEngine {
+    backend: Arc<dyn StorageBackend>,
+    tx: Option<Sender<Request>>,
+    workers: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+    next_ticket: AtomicU64,
+}
+
+impl NvmeEngine {
+    /// Spawn an engine with `num_workers` I/O threads over `backend`.
+    pub fn new(backend: Arc<dyn StorageBackend>, num_workers: usize) -> Self {
+        assert!(num_workers > 0, "engine needs at least one worker");
+        let (tx, rx) = unbounded::<Request>();
+        let shared = Arc::new(Shared {
+            completions: Mutex::new(HashMap::new()),
+            done: Condvar::new(),
+            in_flight: AtomicU64::new(0),
+            stats: Mutex::new(IoStats::default()),
+            detached_errors: Mutex::new(Vec::new()),
+        });
+        let mut workers = Vec::with_capacity(num_workers);
+        for i in 0..num_workers {
+            let rx = rx.clone();
+            let backend = Arc::clone(&backend);
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("zi-nvme-{i}"))
+                    .spawn(move || {
+                        while let Ok(req) = rx.recv() {
+                            if let Request::DetachedWrite { offset, data } = req {
+                                match backend.write_at(offset, &data) {
+                                    Ok(()) => {
+                                        let mut st = shared.stats.lock();
+                                        st.writes += 1;
+                                        st.bytes_written += data.len() as u64;
+                                    }
+                                    Err(e) => {
+                                        shared.stats.lock().errors += 1;
+                                        shared.detached_errors.lock().push(e.to_string());
+                                    }
+                                }
+                                shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+                                shared.done.notify_all();
+                                continue;
+                            }
+                            let (ticket, outcome) = match req {
+                                Request::Read { ticket, offset, len } => {
+                                    let mut buf = vec![0u8; len];
+                                    match backend.read_at(offset, &mut buf) {
+                                        Ok(()) => {
+                                            let mut st = shared.stats.lock();
+                                            st.reads += 1;
+                                            st.bytes_read += len as u64;
+                                            (ticket, Outcome::ReadOk(buf))
+                                        }
+                                        Err(e) => {
+                                            shared.stats.lock().errors += 1;
+                                            (ticket, Outcome::Failed(e.to_string()))
+                                        }
+                                    }
+                                }
+                                Request::Write { ticket, offset, data } => {
+                                    match backend.write_at(offset, &data) {
+                                        Ok(()) => {
+                                            let mut st = shared.stats.lock();
+                                            st.writes += 1;
+                                            st.bytes_written += data.len() as u64;
+                                            (ticket, Outcome::WriteOk)
+                                        }
+                                        Err(e) => {
+                                            shared.stats.lock().errors += 1;
+                                            (ticket, Outcome::Failed(e.to_string()))
+                                        }
+                                    }
+                                }
+                                Request::DetachedWrite { .. } => unreachable!("handled above"),
+                            };
+                            let mut comps = shared.completions.lock();
+                            comps.insert(ticket.0, outcome);
+                            shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+                            shared.done.notify_all();
+                        }
+                    })
+                    .expect("spawn nvme worker"),
+            );
+        }
+        NvmeEngine {
+            backend,
+            tx: Some(tx),
+            workers,
+            shared,
+            next_ticket: AtomicU64::new(0),
+        }
+    }
+
+    fn submit(&self, make: impl FnOnce(Ticket) -> Request) -> Ticket {
+        let ticket = Ticket(self.next_ticket.fetch_add(1, Ordering::Relaxed));
+        self.shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        self.tx
+            .as_ref()
+            .expect("engine not shut down")
+            .send(make(ticket))
+            .expect("worker pool alive");
+        ticket
+    }
+
+    /// Submit an asynchronous read of `len` bytes at `offset`.
+    pub fn submit_read(&self, offset: u64, len: usize) -> Ticket {
+        self.submit(|ticket| Request::Read { ticket, offset, len })
+    }
+
+    /// Submit an asynchronous write of `data` at `offset`.
+    pub fn submit_write(&self, offset: u64, data: Vec<u8>) -> Ticket {
+        self.submit(|ticket| Request::Write { ticket, offset, data })
+    }
+
+    /// Submit a fire-and-forget write. No ticket: the write completes in
+    /// the background and any error surfaces at the next [`Self::flush`].
+    pub fn submit_write_detached(&self, offset: u64, data: Vec<u8>) {
+        self.shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        self.tx
+            .as_ref()
+            .expect("engine not shut down")
+            .send(Request::DetachedWrite { offset, data })
+            .expect("worker pool alive");
+    }
+
+    /// Submit a bulk batch of reads: `(offset, len)` pairs.
+    pub fn submit_read_bulk(&self, requests: &[(u64, usize)]) -> Vec<Ticket> {
+        requests.iter().map(|&(off, len)| self.submit_read(off, len)).collect()
+    }
+
+    /// Block until `ticket` completes. Reads return `Some(buffer)`, writes
+    /// return `None`.
+    pub fn wait(&self, ticket: Ticket) -> Result<Option<Vec<u8>>> {
+        let mut comps = self.shared.completions.lock();
+        loop {
+            if let Some(outcome) = comps.remove(&ticket.0) {
+                return match outcome {
+                    Outcome::ReadOk(buf) => Ok(Some(buf)),
+                    Outcome::WriteOk => Ok(None),
+                    Outcome::Failed(msg) => {
+                        Err(Error::Io(std::io::Error::other(msg)))
+                    }
+                };
+            }
+            self.shared.done.wait(&mut comps);
+        }
+    }
+
+    /// Wait until every outstanding request has completed (synchronization
+    /// barrier), then issue a durability sync on the backend. Errors from
+    /// detached writes are reported here. Completions awaiting their
+    /// owner's `wait` are left untouched, so concurrent users of a shared
+    /// engine are unaffected.
+    pub fn flush(&self) -> Result<()> {
+        let mut comps = self.shared.completions.lock();
+        while self.shared.in_flight.load(Ordering::Acquire) > 0 {
+            self.shared.done.wait(&mut comps);
+        }
+        drop(comps);
+        if let Some(msg) = {
+            let mut errs = self.shared.detached_errors.lock();
+            if errs.is_empty() { None } else { Some(errs.remove(0)) }
+        } {
+            return Err(Error::Io(std::io::Error::other(msg)));
+        }
+        self.backend.sync()
+    }
+
+    /// Number of requests submitted but not yet completed.
+    pub fn in_flight(&self) -> u64 {
+        self.shared.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> IoStats {
+        *self.shared.stats.lock()
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+impl Drop for NvmeEngine {
+    fn drop(&mut self) {
+        // Close the channel so workers exit, then join them.
+        self.tx.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    fn engine(workers: usize) -> (Arc<MemBackend>, NvmeEngine) {
+        let backend = Arc::new(MemBackend::new());
+        let eng = NvmeEngine::new(Arc::clone(&backend) as Arc<dyn StorageBackend>, workers);
+        (backend, eng)
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let (_, eng) = engine(4);
+        let w = eng.submit_write(64, vec![7u8; 32]);
+        assert!(eng.wait(w).unwrap().is_none());
+        let r = eng.submit_read(64, 32);
+        let buf = eng.wait(r).unwrap().expect("read returns data");
+        assert_eq!(buf, vec![7u8; 32]);
+        let st = eng.stats();
+        assert_eq!(st.reads, 1);
+        assert_eq!(st.writes, 1);
+        assert_eq!(st.bytes_read, 32);
+        assert_eq!(st.bytes_written, 32);
+    }
+
+    #[test]
+    fn bulk_reads_complete_in_any_order() {
+        let (_, eng) = engine(8);
+        for i in 0u8..16 {
+            let w = eng.submit_write(i as u64 * 8, vec![i; 8]);
+            eng.wait(w).unwrap();
+        }
+        let reqs: Vec<(u64, usize)> = (0..16).map(|i| (i as u64 * 8, 8)).collect();
+        let tickets = eng.submit_read_bulk(&reqs);
+        // Wait in reverse order to exercise out-of-order completion.
+        for (i, t) in tickets.into_iter().enumerate().rev() {
+            let buf = eng.wait(t).unwrap().unwrap();
+            assert_eq!(buf, vec![i as u8; 8]);
+        }
+    }
+
+    #[test]
+    fn flush_drains_everything() {
+        let (backend, eng) = engine(4);
+        for i in 0..64u64 {
+            eng.submit_write(i * 128, vec![i as u8; 128]);
+        }
+        eng.flush().unwrap();
+        assert_eq!(eng.in_flight(), 0);
+        assert_eq!(backend.bytes_written(), 64 * 128);
+        assert_eq!(eng.stats().writes, 64);
+    }
+
+    #[test]
+    fn read_error_surfaces_at_wait() {
+        let (backend, eng) = engine(2);
+        backend.set_fail_reads(true);
+        let t = eng.submit_read(0, 8);
+        let err = eng.wait(t).unwrap_err();
+        assert!(err.to_string().contains("injected read failure"));
+        assert_eq!(eng.stats().errors, 1);
+    }
+
+    #[test]
+    fn flush_reports_detached_errors() {
+        let (backend, eng) = engine(2);
+        backend.set_fail_writes(true);
+        eng.submit_write_detached(0, vec![1, 2, 3]);
+        let err = eng.flush().unwrap_err();
+        assert!(err.to_string().contains("injected write failure"));
+        // A subsequent flush succeeds (error consumed).
+        backend.set_fail_writes(false);
+        eng.flush().unwrap();
+    }
+
+    #[test]
+    fn concurrent_submitters() {
+        let (_, eng) = engine(4);
+        let eng = Arc::new(eng);
+        let mut handles = Vec::new();
+        for tnum in 0..4u64 {
+            let e = Arc::clone(&eng);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..32u64 {
+                    let off = (tnum * 32 + i) * 16;
+                    let w = e.submit_write(off, vec![(tnum * 32 + i) as u8; 16]);
+                    e.wait(w).unwrap();
+                    let r = e.submit_read(off, 16);
+                    let buf = e.wait(r).unwrap().unwrap();
+                    assert_eq!(buf[0], (tnum * 32 + i) as u8);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(eng.stats().writes, 128);
+        assert_eq!(eng.stats().reads, 128);
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let (_, eng) = engine(3);
+        let w = eng.submit_write(0, vec![1u8; 4]);
+        eng.wait(w).unwrap();
+        drop(eng); // must not hang or panic
+    }
+
+    #[test]
+    fn file_backend_through_engine() {
+        let dir = std::env::temp_dir().join(format!("zi_nvme_eng_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let backend =
+            Arc::new(crate::backend::FileBackend::create(&dir.join("dev.bin")).unwrap());
+        let eng = NvmeEngine::new(backend as Arc<dyn StorageBackend>, 4);
+        let payload: Vec<u8> = (0..255u8).collect();
+        let w = eng.submit_write(4096, payload.clone());
+        eng.wait(w).unwrap();
+        eng.flush().unwrap();
+        let r = eng.submit_read(4096, payload.len());
+        assert_eq!(eng.wait(r).unwrap().unwrap(), payload);
+        drop(eng);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! DeepNVMe: asynchronous bulk-I/O engine for NVMe offload.
+//!
+//! Reproduces the C++ NVMe library of the infinity offload engine
+//! (Sec. 6.3): bulk read/write requests with asynchronous completion,
+//! explicit flush barriers, aggressive parallelization of I/O across a
+//! worker pool, and buffer reuse via the pinned-memory layer in
+//! `zi-memory`.
+//!
+//! Two storage backends are provided:
+//! * [`FileBackend`] — a real file accessed with positioned reads/writes
+//!   from many threads; this is the closest laptop equivalent of an NVMe
+//!   SSD and is what the benches measure.
+//! * [`MemBackend`] — an in-memory device with byte counters and an
+//!   optional failure injector, for deterministic tests.
+
+pub mod backend;
+pub mod engine;
+
+pub use backend::{FileBackend, MemBackend, StorageBackend, ThrottledBackend};
+pub use engine::{IoStats, NvmeEngine, Ticket};

@@ -1,0 +1,93 @@
+//! Learning-rate schedules for large-model training.
+//!
+//! Large transformer training universally uses linear warmup followed by
+//! a decay; this module provides the warmup+cosine schedule used by the
+//! GPT/Megatron/Turing-NLG runs the paper builds on.
+
+/// Linear warmup to `base_lr`, then cosine decay to `min_lr`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LrSchedule {
+    /// Peak learning rate, reached at the end of warmup.
+    pub base_lr: f32,
+    /// Steps of linear warmup from 0.
+    pub warmup_steps: u64,
+    /// Total steps; cosine decay spans `(warmup_steps, total_steps]`.
+    pub total_steps: u64,
+    /// Floor learning rate after decay.
+    pub min_lr: f32,
+}
+
+impl LrSchedule {
+    /// Constant learning rate (no warmup, no decay).
+    pub fn constant(lr: f32) -> Self {
+        LrSchedule { base_lr: lr, warmup_steps: 0, total_steps: u64::MAX, min_lr: lr }
+    }
+
+    /// Learning rate for 0-based `step`.
+    pub fn lr_at(&self, step: u64) -> f32 {
+        if self.warmup_steps > 0 && step < self.warmup_steps {
+            return self.base_lr * (step + 1) as f32 / self.warmup_steps as f32;
+        }
+        if step >= self.total_steps {
+            return self.min_lr;
+        }
+        let span = (self.total_steps - self.warmup_steps).max(1) as f32;
+        let progress = (step - self.warmup_steps) as f32 / span;
+        let cosine = 0.5 * (1.0 + (std::f32::consts::PI * progress).cos());
+        self.min_lr + (self.base_lr - self.min_lr) * cosine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> LrSchedule {
+        LrSchedule { base_lr: 1.0, warmup_steps: 10, total_steps: 110, min_lr: 0.1 }
+    }
+
+    #[test]
+    fn warmup_is_linear() {
+        let s = sched();
+        assert!((s.lr_at(0) - 0.1).abs() < 1e-6);
+        assert!((s.lr_at(4) - 0.5).abs() < 1e-6);
+        assert!((s.lr_at(9) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decay_is_cosine_to_floor() {
+        let s = sched();
+        // Start of decay: full base rate.
+        assert!((s.lr_at(10) - 1.0).abs() < 1e-6);
+        // Midpoint: halfway between base and min.
+        assert!((s.lr_at(60) - 0.55).abs() < 1e-3);
+        // End and beyond: floor.
+        assert!((s.lr_at(110) - 0.1).abs() < 1e-6);
+        assert!((s.lr_at(10_000) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monotone_decay_after_warmup() {
+        let s = sched();
+        let mut prev = f32::INFINITY;
+        for step in 10..=110 {
+            let lr = s.lr_at(step);
+            assert!(lr <= prev + 1e-7, "lr rose at {step}");
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn constant_schedule() {
+        let s = LrSchedule::constant(0.3);
+        for step in [0u64, 5, 1000, u64::MAX - 1] {
+            assert_eq!(s.lr_at(step), 0.3);
+        }
+    }
+
+    #[test]
+    fn zero_warmup_starts_at_base() {
+        let s = LrSchedule { base_lr: 2.0, warmup_steps: 0, total_steps: 100, min_lr: 0.0 };
+        assert!((s.lr_at(0) - 2.0).abs() < 1e-6);
+    }
+}

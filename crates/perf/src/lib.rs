@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Analytic memory and bandwidth model (paper Sections 3 and 4).
+//!
+//! Pure closed-form reproductions of every equation in the paper's
+//! characterization sections: model-state memory (Eq. 1–2), activation
+//! checkpoints (Eq. 3), working memory (Eq. 4–5), per-iteration compute
+//! (Eq. 7–8), arithmetic intensity (Eq. 9–11) and the efficiency metric
+//! (Eq. 6). These drive the Fig. 2a/2b tables, the Fig. 3 efficiency
+//! curves, and the Table 3 future-hardware projection.
+//!
+//! # Example
+//!
+//! The Sec. 5.2.1 threshold — 70 GB/s sustains ≥50% efficiency for
+//! parameters and gradients even at batch size 1:
+//!
+//! ```
+//! use zi_perf::{ait_params_grads, efficiency::efficiency};
+//!
+//! let ait = ait_params_grads(1024, 1);
+//! let e = efficiency(ait, 70e9, 70e12);
+//! assert!(e >= 0.5);
+//! ```
+
+pub mod ait;
+pub mod efficiency;
+pub mod memory;
+pub mod scaling;
+
+pub use ait::{ait_activation_checkpoints, ait_optimizer_states, ait_params_grads};
+pub use efficiency::{efficiency, EfficiencyPoint};
+pub use memory::{ModelShape, TrainingShape};
+pub use scaling::{bandwidth_requirements, HardwareGen};

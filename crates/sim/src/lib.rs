@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! Cluster-scale performance and capacity simulator.
+//!
+//! The paper's evaluation (Sec. 8) runs on 32 DGX-2 nodes (512 V100s).
+//! This crate reproduces those experiments analytically, using the
+//! hardware characteristics the paper itself publishes (Fig. 2b) and the
+//! memory/bandwidth model of `zi-perf`:
+//!
+//! * [`cluster`] — DGX-2 / SuperPOD hardware descriptions (Fig. 2b).
+//! * [`model_cfg`] — the model configurations of Table 1 and Tables 4–8.
+//! * [`capacity`] — per-strategy device memory requirements and the
+//!   max-model-size solver (Fig. 1, Fig. 6a).
+//! * [`throughput`] — the iteration-time model with overlap, offload
+//!   traffic and pipeline effects (Fig. 5a–c, Fig. 6c–e).
+//! * [`figures`] — one function per paper figure, returning typed rows
+//!   that the bench harness prints and the tests assert against.
+
+pub mod capacity;
+pub mod cluster;
+pub mod figures;
+pub mod model_cfg;
+pub mod pipeline;
+pub mod throughput;
+
+pub use capacity::{max_model_size, memory_requirement, MemoryRequirement};
+pub use cluster::ClusterSpec;
+pub use model_cfg::{SimModel, SimStrategy};
+pub use pipeline::{simulate as simulate_pipeline, ModuleCost, PipelineResult};
+pub use throughput::{iteration_time, TimeBreakdown};

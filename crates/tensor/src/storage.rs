@@ -1,0 +1,241 @@
+//! Dtype-tagged flat buffers: the unit of storage the offload engine moves.
+//!
+//! Model states live in [`FlatBuffer`]s. The ZeRO engine partitions,
+//! offloads and gathers these buffers as raw bytes; compute converts them
+//! to/from f32 at the edges (the analogue of fp16 tensor-core loads).
+
+use zi_types::{DType, Error, Result};
+
+use crate::f16::F16;
+
+/// A flat, dtype-tagged byte buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlatBuffer {
+    dtype: DType,
+    bytes: Vec<u8>,
+}
+
+impl FlatBuffer {
+    /// Zero-filled buffer holding `numel` elements of `dtype`.
+    pub fn zeros(dtype: DType, numel: usize) -> Self {
+        FlatBuffer { dtype, bytes: vec![0u8; dtype.bytes_for(numel)] }
+    }
+
+    /// Build from f32 values, converting to the target dtype.
+    pub fn from_f32(dtype: DType, values: &[f32]) -> Self {
+        let mut buf = FlatBuffer::zeros(dtype, values.len());
+        buf.write_f32(values).expect("freshly sized buffer must accept its own values");
+        buf
+    }
+
+    /// Wrap raw bytes; `bytes.len()` must be a multiple of the element size.
+    pub fn from_bytes(dtype: DType, bytes: Vec<u8>) -> Result<Self> {
+        if !bytes.len().is_multiple_of(dtype.size_in_bytes()) {
+            return Err(Error::InvalidArgument(format!(
+                "byte length {} is not a multiple of {} element size",
+                bytes.len(),
+                dtype
+            )));
+        }
+        Ok(FlatBuffer { dtype, bytes })
+    }
+
+    /// Element type.
+    #[inline]
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.bytes.len() / self.dtype.size_in_bytes()
+    }
+
+    /// Total size in bytes.
+    #[inline]
+    pub fn size_in_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Raw byte view.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutable raw byte view.
+    #[inline]
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// Decode the whole buffer to f32.
+    pub fn to_f32_vec(&self) -> Vec<f32> {
+        let n = self.numel();
+        let mut out = vec![0f32; n];
+        match self.dtype {
+            DType::F32 => {
+                for (i, chunk) in self.bytes.chunks_exact(4).enumerate() {
+                    out[i] = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                }
+            }
+            DType::F16 => {
+                for (i, chunk) in self.bytes.chunks_exact(2).enumerate() {
+                    out[i] = F16::from_bits(u16::from_le_bytes([chunk[0], chunk[1]])).to_f32();
+                }
+            }
+        }
+        out
+    }
+
+    /// Encode f32 values into the buffer (length must match exactly).
+    pub fn write_f32(&mut self, values: &[f32]) -> Result<()> {
+        if values.len() != self.numel() {
+            return Err(Error::shape(format!(
+                "write_f32: {} values into buffer of {} elements",
+                values.len(),
+                self.numel()
+            )));
+        }
+        match self.dtype {
+            DType::F32 => {
+                for (chunk, v) in self.bytes.chunks_exact_mut(4).zip(values) {
+                    chunk.copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            DType::F16 => {
+                for (chunk, v) in self.bytes.chunks_exact_mut(2).zip(values) {
+                    chunk.copy_from_slice(&F16::from_f32(*v).to_bits().to_le_bytes());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Copy `len` elements starting at `offset` into a new buffer.
+    ///
+    /// Used by the partitioner to slice a parameter into per-rank shards.
+    pub fn slice(&self, offset: usize, len: usize) -> Result<FlatBuffer> {
+        let es = self.dtype.size_in_bytes();
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| Error::InvalidArgument("slice overflow".into()))?;
+        if end > self.numel() {
+            return Err(Error::shape(format!(
+                "slice [{offset}, {end}) out of buffer of {} elements",
+                self.numel()
+            )));
+        }
+        Ok(FlatBuffer {
+            dtype: self.dtype,
+            bytes: self.bytes[offset * es..end * es].to_vec(),
+        })
+    }
+
+    /// Overwrite elements `[offset, offset+src.numel())` with `src`.
+    pub fn write_slice(&mut self, offset: usize, src: &FlatBuffer) -> Result<()> {
+        if src.dtype != self.dtype {
+            return Err(Error::InvalidArgument(format!(
+                "write_slice dtype mismatch: {} into {}",
+                src.dtype, self.dtype
+            )));
+        }
+        let es = self.dtype.size_in_bytes();
+        let end = offset + src.numel();
+        if end > self.numel() {
+            return Err(Error::shape(format!(
+                "write_slice [{offset}, {end}) out of buffer of {} elements",
+                self.numel()
+            )));
+        }
+        self.bytes[offset * es..end * es].copy_from_slice(&src.bytes);
+        Ok(())
+    }
+
+    /// Append zero elements until `numel() == target`, used for padding a
+    /// parameter so it divides evenly across data-parallel ranks.
+    pub fn pad_to(&mut self, target: usize) {
+        let cur = self.numel();
+        assert!(target >= cur, "pad_to shrank buffer: {cur} -> {target}");
+        self.bytes.resize(self.dtype.bytes_for(target), 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_sizes() {
+        let b = FlatBuffer::zeros(DType::F16, 8);
+        assert_eq!(b.numel(), 8);
+        assert_eq!(b.size_in_bytes(), 16);
+        assert!(b.to_f32_vec().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn f32_round_trip() {
+        let vals = [1.0f32, -2.5, 3.25, 0.0];
+        let b = FlatBuffer::from_f32(DType::F32, &vals);
+        assert_eq!(b.to_f32_vec(), vals);
+    }
+
+    #[test]
+    fn f16_round_trip_with_quantization() {
+        let vals = [1.0f32, -2.5, 65504.0, 0.099976];
+        let b = FlatBuffer::from_f32(DType::F16, &vals);
+        let back = b.to_f32_vec();
+        for (a, r) in vals.iter().zip(&back) {
+            assert!((a - r).abs() <= a.abs() * 1e-3 + 1e-6, "{a} vs {r}");
+        }
+    }
+
+    #[test]
+    fn slice_and_write_slice() {
+        let b = FlatBuffer::from_f32(DType::F32, &[0.0, 1.0, 2.0, 3.0, 4.0]);
+        let s = b.slice(1, 3).unwrap();
+        assert_eq!(s.to_f32_vec(), vec![1.0, 2.0, 3.0]);
+
+        let mut dst = FlatBuffer::zeros(DType::F32, 5);
+        dst.write_slice(2, &s).unwrap();
+        assert_eq!(dst.to_f32_vec(), vec![0.0, 0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn slice_bounds_checked() {
+        let b = FlatBuffer::zeros(DType::F32, 4);
+        assert!(b.slice(2, 3).is_err());
+        assert!(b.slice(usize::MAX, 2).is_err());
+        let mut d = FlatBuffer::zeros(DType::F32, 4);
+        assert!(d.write_slice(3, &b.slice(0, 2).unwrap()).is_err());
+    }
+
+    #[test]
+    fn dtype_mismatch_rejected() {
+        let mut dst = FlatBuffer::zeros(DType::F32, 4);
+        let src = FlatBuffer::zeros(DType::F16, 2);
+        assert!(dst.write_slice(0, &src).is_err());
+    }
+
+    #[test]
+    fn from_bytes_validates_alignment() {
+        assert!(FlatBuffer::from_bytes(DType::F32, vec![0u8; 6]).is_err());
+        assert!(FlatBuffer::from_bytes(DType::F16, vec![0u8; 6]).is_ok());
+    }
+
+    #[test]
+    fn padding() {
+        let mut b = FlatBuffer::from_f32(DType::F16, &[1.0, 2.0]);
+        b.pad_to(5);
+        assert_eq!(b.numel(), 5);
+        assert_eq!(b.to_f32_vec(), vec![1.0, 2.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn write_f32_length_checked() {
+        let mut b = FlatBuffer::zeros(DType::F32, 3);
+        assert!(b.write_f32(&[1.0, 2.0]).is_err());
+        assert!(b.write_f32(&[1.0, 2.0, 3.0]).is_ok());
+    }
+}

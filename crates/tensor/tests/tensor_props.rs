@@ -1,0 +1,112 @@
+//! Property tests on the tensor substrate.
+
+use proptest::prelude::*;
+use zi_tensor::{ops, FlatBuffer, Tensor, F16};
+use zi_types::DType;
+
+proptest! {
+    /// f32 → f16 → f32 keeps finite values within half-precision relative
+    /// error (2^-11) or flushes tiny magnitudes toward zero.
+    #[test]
+    fn f16_quantization_error_bounded(x in -65000.0f32..65000.0) {
+        let q = F16::from_f32(x).to_f32();
+        let tol = x.abs() * (1.0 / 2048.0) + 6e-8; // rel half-ulp + subnormal floor
+        prop_assert!((x - q).abs() <= tol, "{x} -> {q}");
+    }
+
+    /// Quantization is monotone: a larger f32 never maps to a smaller f16.
+    #[test]
+    fn f16_conversion_is_monotone(a in -60000.0f32..60000.0, b in -60000.0f32..60000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(F16::from_f32(lo).to_f32() <= F16::from_f32(hi).to_f32());
+    }
+
+    /// Slicing a FlatBuffer and writing it back is the identity.
+    #[test]
+    fn flatbuffer_slice_write_roundtrip(
+        vals in proptest::collection::vec(-100.0f32..100.0, 1..64),
+        cut in 0usize..64,
+    ) {
+        let buf = FlatBuffer::from_f32(DType::F32, &vals);
+        let cut = cut % vals.len();
+        let left = buf.slice(0, cut).unwrap();
+        let right = buf.slice(cut, vals.len() - cut).unwrap();
+        let mut rebuilt = FlatBuffer::zeros(DType::F32, vals.len());
+        rebuilt.write_slice(0, &left).unwrap();
+        rebuilt.write_slice(cut, &right).unwrap();
+        prop_assert_eq!(rebuilt.to_f32_vec(), vals);
+    }
+
+    /// Matmul distributes over addition: A(B + C) == AB + AC.
+    #[test]
+    fn matmul_distributes(m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..100) {
+        let a = Tensor::randn_seeded(&[m, k], seed, 1.0);
+        let b = Tensor::randn_seeded(&[k, n], seed + 1, 1.0);
+        let c = Tensor::randn_seeded(&[k, n], seed + 2, 1.0);
+        let mut bc = b.clone();
+        bc.add_assign(&c).unwrap();
+        let left = ops::matmul(&a, &bc).unwrap();
+        let mut right = ops::matmul(&a, &b).unwrap();
+        right.add_assign(&ops::matmul(&a, &c).unwrap()).unwrap();
+        for (l, r) in left.data().iter().zip(right.data()) {
+            prop_assert!((l - r).abs() < 1e-4);
+        }
+    }
+
+    /// matmul_nt(A, W) equals matmul(A, W^T) built explicitly.
+    #[test]
+    fn matmul_nt_consistent(m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..100) {
+        let a = Tensor::randn_seeded(&[m, k], seed, 1.0);
+        let w = Tensor::randn_seeded(&[n, k], seed + 9, 1.0);
+        let mut wt = vec![0f32; k * n];
+        for i in 0..n {
+            for j in 0..k {
+                wt[j * n + i] = w.data()[i * k + j];
+            }
+        }
+        let expect = ops::matmul(&a, &Tensor::from_vec(&[k, n], wt).unwrap()).unwrap();
+        let got = ops::matmul_nt(&a, &w).unwrap();
+        for (g, e) in got.data().iter().zip(expect.data()) {
+            prop_assert!((g - e).abs() < 1e-4);
+        }
+    }
+
+    /// Softmax rows always form a probability distribution.
+    #[test]
+    fn softmax_is_distribution(
+        rows in 1usize..4,
+        cols in 1usize..6,
+        seed in 0u64..100,
+        scale in 0.1f32..50.0,
+    ) {
+        let mut x = Tensor::randn_seeded(&[rows, cols], seed, scale);
+        ops::softmax_rows(&mut x);
+        for row in x.data().chunks(cols) {
+            let s: f32 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        }
+    }
+
+    /// LayerNorm output is exactly invariant to a uniform shift of its
+    /// input (mean subtraction).
+    #[test]
+    fn layernorm_shift_invariant(
+        cols in 2usize..8,
+        seed in 0u64..100,
+        shift in -10.0f32..10.0,
+    ) {
+        let x = Tensor::randn_seeded(&[2, cols], seed, 1.0);
+        let mut shifted = x.clone();
+        for v in shifted.data_mut() {
+            *v += shift;
+        }
+        let gamma = vec![1.0; cols];
+        let beta = vec![0.0; cols];
+        let (y1, _) = ops::layernorm(&x, &gamma, &beta, 1e-5).unwrap();
+        let (y2, _) = ops::layernorm(&shifted, &gamma, &beta, 1e-5).unwrap();
+        for (a, b) in y1.data().iter().zip(y2.data()) {
+            prop_assert!((a - b).abs() < 1e-3);
+        }
+    }
+}

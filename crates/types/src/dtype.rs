@@ -1,0 +1,66 @@
+//! Element data types used by the training stack.
+
+use std::fmt;
+
+/// Numeric element type of a tensor.
+///
+/// Mixed-precision training in the paper stores parameters and gradients in
+/// [`DType::F16`] while the optimizer keeps [`DType::F32`] master copies
+/// (Sec. 2, "Adam Optimizer and Mixed Precision Training").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// IEEE-754 binary16 half precision.
+    F16,
+    /// IEEE-754 binary32 single precision.
+    F32,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    #[inline]
+    pub const fn size_in_bytes(self) -> usize {
+        match self {
+            DType::F16 => 2,
+            DType::F32 => 4,
+        }
+    }
+
+    /// Bytes needed to store `numel` elements of this type.
+    #[inline]
+    pub const fn bytes_for(self, numel: usize) -> usize {
+        numel * self.size_in_bytes()
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DType::F16 => write!(f, "f16"),
+            DType::F32 => write!(f, "f32"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_sizes() {
+        assert_eq!(DType::F16.size_in_bytes(), 2);
+        assert_eq!(DType::F32.size_in_bytes(), 4);
+    }
+
+    #[test]
+    fn bytes_for_counts() {
+        assert_eq!(DType::F16.bytes_for(10), 20);
+        assert_eq!(DType::F32.bytes_for(10), 40);
+        assert_eq!(DType::F32.bytes_for(0), 0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DType::F16.to_string(), "f16");
+        assert_eq!(DType::F32.to_string(), "f32");
+    }
+}

@@ -1,0 +1,115 @@
+//! Common error type for the workspace.
+
+use std::fmt;
+
+use crate::device::Device;
+
+/// Result alias using [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced anywhere in the training stack.
+#[derive(Debug)]
+pub enum Error {
+    /// A memory pool could not satisfy an allocation.
+    ///
+    /// Distinguishes capacity exhaustion from fragmentation: `largest_free`
+    /// reports the biggest contiguous block that was available, which is the
+    /// quantity memory-centric tiling is designed around (Sec. 5.1.3).
+    OutOfMemory {
+        /// Device whose pool failed.
+        device: Device,
+        /// Bytes requested.
+        requested: usize,
+        /// Largest contiguous free block at failure time.
+        largest_free: usize,
+        /// Total free bytes at failure time.
+        total_free: usize,
+    },
+    /// Shapes or lengths did not match.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        context: String,
+    },
+    /// An I/O operation on the NVMe backend failed.
+    Io(std::io::Error),
+    /// An invalid argument or configuration was supplied.
+    InvalidArgument(String),
+    /// Internal invariant violated (a bug in this library).
+    Internal(String),
+}
+
+impl Error {
+    /// Convenience constructor for shape errors.
+    pub fn shape(context: impl Into<String>) -> Self {
+        Error::ShapeMismatch { context: context.into() }
+    }
+
+    /// True if this is an out-of-memory error.
+    pub fn is_oom(&self) -> bool {
+        matches!(self, Error::OutOfMemory { .. })
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::OutOfMemory { device, requested, largest_free, total_free } => write!(
+                f,
+                "out of memory on {device}: requested {requested} B, \
+                 largest contiguous free block {largest_free} B, total free {total_free} B"
+            ),
+            Error::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            Error::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oom_detection_and_display() {
+        let e = Error::OutOfMemory {
+            device: Device::gpu(0),
+            requested: 100,
+            largest_free: 10,
+            total_free: 50,
+        };
+        assert!(e.is_oom());
+        let s = e.to_string();
+        assert!(s.contains("gpu:0"));
+        assert!(s.contains("100"));
+    }
+
+    #[test]
+    fn io_error_conversion() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk fell off");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+        assert!(!e.is_oom());
+    }
+
+    #[test]
+    fn shape_helper() {
+        let e = Error::shape("a vs b");
+        assert_eq!(e.to_string(), "shape mismatch: a vs b");
+    }
+}

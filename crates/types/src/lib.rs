@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! Shared vocabulary types for the ZeRO-Infinity reproduction.
+//!
+//! Every other crate in the workspace depends on this one for data types,
+//! device identities, byte-size arithmetic and the common error type.
+
+pub mod device;
+pub mod dtype;
+pub mod error;
+pub mod units;
+
+pub use device::{Device, DeviceKind, Rank, WorldSize};
+pub use dtype::DType;
+pub use error::{Error, Result};
+pub use units::ByteSize;

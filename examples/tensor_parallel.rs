@@ -1,0 +1,42 @@
+//! ZeRO-Infinity × tensor slicing: the 2-D parallel grid of Table 1.
+//!
+//! Four rank threads form a 2x2 grid: two tensor-parallel groups (each
+//! holding half the attention heads and FFN channels of every layer) and
+//! two data-parallel groups (each ZeRO-partitioning its slice and
+//! offloading it to NVMe). The run is compared against a flat mp=1
+//! configuration: both must follow the same loss trajectory.
+//!
+//! Run with: `cargo run --release --example tensor_parallel`
+
+use zero_infinity_suite::model::GptConfig;
+use zero_infinity_suite::optim::AdamConfig;
+use zero_infinity_suite::zero::{train_gpt_2d, Spec2D, Strategy};
+
+fn main() {
+    let model = GptConfig { vocab: 32, hidden: 16, layers: 2, heads: 4, seq: 8, seed: 5 };
+    let base = Spec2D {
+        model,
+        strategy: Strategy::infinity_nvme().with_f32_params(),
+        mp: 2,
+        dp: 2,
+        micro_batch: 2,
+        steps: 6,
+        adam: AdamConfig { lr: 0.01, ..Default::default() },
+    };
+
+    println!("2-D grid: mp=2 (tensor slicing) x dp=2 (ZeRO-Infinity NVMe), 4 rank threads");
+    let sliced = train_gpt_2d(&base).expect("2-D training");
+    let flat = train_gpt_2d(&Spec2D { mp: 1, ..base }).expect("flat training");
+
+    println!();
+    println!("{:>5} {:>14} {:>14} {:>12}", "step", "mp=2 x dp=2", "mp=1 x dp=2", "|Δ|");
+    for (i, (a, b)) in sliced.iter().zip(&flat).enumerate() {
+        println!("{i:>5} {a:>14.6} {b:>14.6} {:>12.2e}", (a - b).abs());
+        assert!((a - b).abs() < 1e-3, "slicing changed the trajectory");
+    }
+    println!();
+    println!(
+        "Tensor slicing is numerically transparent: each rank held only half of \
+         every layer, ZeRO-partitioned across its data-parallel group, on NVMe."
+    );
+}

@@ -1,0 +1,78 @@
+//! Train with ZeRO-Infinity, then run inference through the very same
+//! partitioned, NVMe-offloaded parameters — no "export to a dense model"
+//! step needed, because the engine serves forward-only passes with the
+//! same fetch/release protocol as training.
+//!
+//! The task is learnable by heart: next token = (token + 1) mod vocab.
+//! After training, greedy decoding must reproduce the rule.
+//!
+//! Run with: `cargo run --release --example train_and_generate`
+
+use zero_infinity_suite::model::{GptConfig, GptModel, RunOptions};
+use zero_infinity_suite::optim::{AdamConfig, LrSchedule};
+use zero_infinity_suite::zero::{NodeResources, Strategy, ZeroEngine};
+use zi_memory::NodeMemorySpec;
+
+fn main() {
+    let cfg = GptConfig { vocab: 8, hidden: 16, layers: 2, heads: 2, seq: 4, seed: 21 };
+    let model = GptModel::new(cfg);
+    let node =
+        NodeResources::in_memory(&NodeMemorySpec::test_spec(1, 1 << 24, 1 << 26, 1 << 26), 1);
+    let mut engine = ZeroEngine::new(
+        model.registry(),
+        Strategy::infinity_nvme(),
+        node.offload_manager(),
+        node.group.communicator(0),
+        AdamConfig { lr: 0.01, ..Default::default() },
+    )
+    .expect("engine");
+
+    let schedule = LrSchedule {
+        base_lr: 0.02,
+        warmup_steps: 20,
+        total_steps: 300,
+        min_lr: 0.002,
+    };
+    let opts = RunOptions { batch: 4, ..Default::default() };
+    let rows = 4 * cfg.seq;
+    println!("training 300 steps on the (+1 mod {}) task with warmup+cosine LR...", cfg.vocab);
+    let mut last = 0.0;
+    for step in 0..300usize {
+        engine.set_lr(schedule.lr_at(step as u64));
+        let tokens: Vec<usize> = (0..rows).map(|i| (i * 3 + step * 5 + 1) % cfg.vocab).collect();
+        let targets: Vec<usize> = tokens.iter().map(|&t| (t + 1) % cfg.vocab).collect();
+        last = model.train_step(&mut engine, &tokens, &targets, &opts).expect("train");
+        engine.step().expect("optimizer");
+        if step % 60 == 0 {
+            println!("step {step:>3}: loss {last:.4}, lr {:.4}", schedule.lr_at(step as u64));
+        }
+    }
+    println!("final loss {last:.4}");
+    println!();
+
+    // Greedy generation: feed a seed, predict the next token for each
+    // position, roll the window forward.
+    let mut sequence = vec![3usize, 4, 5, 6];
+    print!("seed: {sequence:?} -> generated:");
+    for _ in 0..8 {
+        let window: Vec<usize> = sequence[sequence.len() - cfg.seq..].to_vec();
+        let preds = model.predict_next(&mut engine, &window).expect("inference");
+        let next = *preds.last().expect("non-empty");
+        print!(" {next}");
+        sequence.push(next);
+    }
+    println!();
+
+    // Verify the model learned the rule.
+    let learned = sequence
+        .windows(2)
+        .filter(|w| w[1] == (w[0] + 1) % cfg.vocab)
+        .count();
+    println!(
+        "{}/{} transitions follow (+1 mod {}) — generated through NVMe-partitioned weights",
+        learned,
+        sequence.len() - 1,
+        cfg.vocab
+    );
+    assert!(learned >= sequence.len() - 2, "the model should have learned the rule");
+}

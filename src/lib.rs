@@ -1,0 +1,15 @@
+//! Umbrella crate for the ZeRO-Infinity reproduction suite.
+//!
+//! Re-exports every crate in the workspace so that examples and
+//! integration tests can use a single dependency.
+
+pub use zero_infinity as zero;
+pub use zi_comm as comm;
+pub use zi_memory as memory;
+pub use zi_model as model;
+pub use zi_nvme as nvme;
+pub use zi_optim as optim;
+pub use zi_perf as perf;
+pub use zi_sim as sim;
+pub use zi_tensor as tensor;
+pub use zi_types as types;

@@ -1,0 +1,115 @@
+//! Cross-crate checks of the paper's headline claims: the analytic model
+//! (`zi-perf`), the cluster simulator (`zi-sim`) and the real engine
+//! (`zero-infinity`) must tell one consistent story.
+
+use zi_perf::efficiency::{bandwidth_for_efficiency, V100_PEAK_TP};
+use zi_perf::memory::{ModelShape, TrainingShape};
+use zi_perf::{ait_optimizer_states, ait_params_grads};
+use zi_sim::cluster::ClusterSpec;
+use zi_sim::figures;
+use zi_sim::model_cfg::SimStrategy;
+
+/// Sec. 5.2 bandwidth thresholds: 70 GB/s (params), ~1.5 TB/s
+/// (optimizer) — and the DGX-2 hardware provides them via GPU-GPU links
+/// and aggregate slow-memory bandwidth respectively.
+#[test]
+fn bandwidth_thresholds_are_met_by_the_hardware_model() {
+    let c = ClusterSpec::dgx2(32);
+
+    // Params/grads: the paper claims the GPU-GPU fabric (~70 GB/s)
+    // suffices even at batch 1.
+    let need_params = bandwidth_for_efficiency(ait_params_grads(1024, 1), V100_PEAK_TP, 0.5);
+    assert!(c.gg_bw >= need_params * 0.95, "gg {} vs needed {need_params}", c.gg_bw);
+
+    // Optimizer: ~1.5 TB/s aggregate at batch 2; 512 GPUs × 3 GB/s CPU
+    // bandwidth provides exactly that.
+    let need_optim = bandwidth_for_efficiency(ait_optimizer_states(1024, 2), V100_PEAK_TP, 0.9);
+    let aggregate_cpu = c.total_gpus() as f64 * c.cpu_bw_per_gpu;
+    assert!(
+        aggregate_cpu >= need_optim * 0.9,
+        "aggregate {aggregate_cpu} vs needed {need_optim}"
+    );
+}
+
+/// Fig. 2a ↔ zi-sim consistency: the same model shapes must produce the
+/// same state-byte counts in both crates.
+#[test]
+fn memory_model_consistent_across_crates() {
+    let shape = ModelShape { layers: 128, hidden: 25 * 1024, attn_heads: 256 };
+    let sim_model = zi_sim::model_cfg::table1_512gpu()
+        .into_iter()
+        .find(|m| m.name == "1T")
+        .unwrap();
+    assert_eq!(shape.params(), sim_model.params);
+    // 20 bytes/param everywhere.
+    assert_eq!(shape.model_state_bytes(), 20 * sim_model.params);
+}
+
+/// The capacity solver's single-node NVMe ceiling (~1T) must be what the
+/// aggregate NVMe capacity divided by 20 B/param predicts.
+#[test]
+fn capacity_solver_matches_closed_form() {
+    let c = ClusterSpec::dgx2(1);
+    let fam = zi_sim::model_cfg::fig1_family();
+    let ceiling = zi_sim::capacity::max_model_size(SimStrategy::InfinityNvme, &c, &fam)
+        .unwrap()
+        .params as f64;
+    let closed_form = c.total_nvme() as f64 / 20.0;
+    assert!(ceiling <= closed_form);
+    // The family is dense enough that the solver lands within 2.5x of the
+    // theoretical bound.
+    assert!(ceiling * 2.5 >= closed_form, "{ceiling} vs {closed_form}");
+}
+
+/// The real-engine Fig. 6b result and the working-memory formula agree:
+/// tiling by T lets hidden grow by ~sqrt(T) under a fixed fragment size
+/// (working set of one tile is 4*hd*4*hd/T bytes).
+#[test]
+fn tiling_scaling_matches_mswm_formula() {
+    let h1 = zi_bench::max_hidden_size(1).expect("untiled sweep");
+    let h16 = zi_bench::max_hidden_size(16).expect("16-way sweep");
+    // sqrt(16) = 4 with doubling granularity.
+    assert_eq!(h16 / h1, 4, "h1={h1} h16={h16}");
+    // And the untiled ceiling is what the fragment size implies:
+    // largest h with 16*h^2*4 bytes (f32 working copy of the 4h×h tile
+    // set) ≤ fragment.
+    let frag = zi_bench::fig6b::FRAGMENT_BYTES as f64;
+    let predicted = (frag / 16.0).sqrt() as usize;
+    // h1 is the largest power of two ≤ predicted.
+    assert!(h1 <= predicted && h1 * 2 > predicted, "h1={h1} predicted={predicted}");
+}
+
+/// The activation working-memory expression (Eq. 5) dominates the
+/// checkpoint expression (Eq. 3) — AWM is what recomputation holds.
+#[test]
+fn awm_exceeds_checkpoint_footprint_per_interval() {
+    let m = ModelShape { layers: 100, hidden: 8192, attn_heads: 32 };
+    let t = TrainingShape { model: m, batch: 8, seq: 1024, ckpt_interval: 1 };
+    let awm = t.awm_bytes();
+    let per_layer_ckpt = t.activation_checkpoint_bytes() / m.layers;
+    assert!(awm > per_layer_ckpt, "AWM {awm} vs per-layer ckpt {per_layer_ckpt}");
+}
+
+/// Fig. 5a and Fig. 1 agree on where 3D parallelism dies.
+#[test]
+fn threed_oom_point_is_consistent() {
+    let fig1 = figures::fig1();
+    let threed_ceiling = fig1[0].max_params;
+    for row in figures::fig5a() {
+        if row.strategy == SimStrategy::ThreeD {
+            let model_params = zi_sim::model_cfg::table1_512gpu()
+                .into_iter()
+                .find(|m| m.name == row.model)
+                .unwrap()
+                .params;
+            assert_eq!(
+                row.fits,
+                model_params <= threed_ceiling,
+                "{}: fig5a fits={} but ceiling={}",
+                row.model,
+                row.fits,
+                threed_ceiling
+            );
+        }
+    }
+}
