@@ -8,13 +8,99 @@
 //! of the pinned pool for its duration, bounding staging memory the way
 //! the paper's pinned-memory management layer does (Sec. 6.3).
 
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use zi_comm::CommGroup;
 use zi_memory::{Block, MemoryHierarchy, NodeMemorySpec, PinnedBufferPool};
-use zi_nvme::{FileBackend, MemBackend, NvmeEngine, StorageBackend, Ticket};
+use zi_nvme::{checksum::crc32, FileBackend, MemBackend, NvmeEngine, RetryPolicy, StorageBackend, Ticket};
 use zi_tensor::FlatBuffer;
 use zi_types::{DType, Device, DeviceKind, Error, Result, WorldSize};
+
+/// Re-reads attempted when a checksum mismatch is detected before the
+/// corruption is surfaced as [`Error::Corruption`].
+const CORRUPTION_REREADS: u32 = 3;
+
+/// Node-shared resilience state: the shard-checksum registry and the
+/// NVMe→CPU degradation latch. Shared by every [`OffloadManager`] clone
+/// on the node (they share the device, so they must share its health).
+#[derive(Default)]
+struct ResilienceState {
+    /// CRC32 per written NVMe extent, keyed by device offset. Extents
+    /// never overlap (each records the latest write covering exactly
+    /// that range; overlapping older extents are invalidated).
+    checksums: Mutex<BTreeMap<u64, (u64, u32)>>,
+    /// Once set, new NVMe stores are transparently placed on CPU.
+    degraded: AtomicBool,
+    /// Stores redirected NVMe→CPU.
+    failovers: AtomicU64,
+    /// Checksum mismatches that a re-read repaired.
+    corruptions_recovered: AtomicU64,
+    /// Checksum mismatches that re-reads could not repair.
+    corruptions_unrecovered: AtomicU64,
+}
+
+impl ResilienceState {
+    /// Record the checksum of a just-written extent, invalidating any
+    /// previously recorded extent it overlaps.
+    fn record(&self, offset: u64, data: &[u8]) {
+        let mut map = self.checksums.lock();
+        Self::invalidate_locked(&mut map, offset, data.len() as u64);
+        map.insert(offset, (data.len() as u64, crc32(data)));
+    }
+
+    /// Forget checksums overlapping `[offset, offset + len)`.
+    fn invalidate(&self, offset: u64, len: u64) {
+        Self::invalidate_locked(&mut self.checksums.lock(), offset, len);
+    }
+
+    fn invalidate_locked(map: &mut BTreeMap<u64, (u64, u32)>, offset: u64, len: u64) {
+        let end = offset + len;
+        // One extent may start before `offset` and reach into the range;
+        // stored extents are disjoint, so it is the only such candidate.
+        let before = map
+            .range(..offset)
+            .next_back()
+            .filter(|(start, (elen, _))| *start + elen > offset)
+            .map(|(start, _)| *start);
+        if let Some(start) = before {
+            map.remove(&start);
+        }
+        let inside: Vec<u64> = map.range(offset..end).map(|(start, _)| *start).collect();
+        for start in inside {
+            map.remove(&start);
+        }
+    }
+
+    /// Checksum recorded for exactly the extent `[offset, offset+len)`,
+    /// if any. Reads of sub-ranges are not verified (no recorded CRC
+    /// covers them exactly).
+    fn lookup(&self, offset: u64, len: u64) -> Option<u32> {
+        self.checksums
+            .lock()
+            .get(&offset)
+            .filter(|(elen, _)| *elen == len)
+            .map(|(_, crc)| *crc)
+    }
+}
+
+/// Health snapshot of a node's offload path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OffloadHealth {
+    /// True once NVMe stores are being redirected to CPU memory.
+    pub degraded: bool,
+    /// Number of stores redirected NVMe→CPU.
+    pub failovers: u64,
+    /// Checksum mismatches repaired by re-reading the device.
+    pub corruptions_recovered: u64,
+    /// Checksum mismatches that survived every re-read.
+    pub corruptions_unrecovered: u64,
+    /// NVMe engine counters, including per-request `retries` and
+    /// `gave_up` from the retry layer.
+    pub io: zi_nvme::IoStats,
+}
 
 /// Shared per-node resources: memory pools, the NVMe engine, the pinned
 /// staging pool, and the communicator group.
@@ -27,6 +113,8 @@ pub struct NodeResources {
     pub pinned: PinnedBufferPool,
     /// Data-parallel communicator group.
     pub group: CommGroup,
+    /// Shared checksum registry and degradation latch.
+    resilience: Arc<ResilienceState>,
 }
 
 /// Default pinned staging buffer size (bytes).
@@ -59,12 +147,31 @@ impl NodeResources {
         world: WorldSize,
         backend: Arc<dyn StorageBackend>,
     ) -> Self {
+        Self::with_backend_policy(spec, world, backend, RetryPolicy::default())
+    }
+
+    /// Node over an explicit storage backend and NVMe retry policy
+    /// (chaos tests shorten the backoffs; production uses the default).
+    pub fn with_backend_policy(
+        spec: &NodeMemorySpec,
+        world: WorldSize,
+        backend: Arc<dyn StorageBackend>,
+        policy: RetryPolicy,
+    ) -> Self {
         NodeResources {
             hierarchy: Arc::new(MemoryHierarchy::new(spec)),
-            nvme: Arc::new(NvmeEngine::new(backend, NVME_WORKERS)),
+            nvme: Arc::new(NvmeEngine::with_policy(backend, NVME_WORKERS, policy)),
             pinned: PinnedBufferPool::new(PINNED_BUF_COUNT, PINNED_BUF_BYTES),
             group: CommGroup::new(world),
+            resilience: Arc::new(ResilienceState::default()),
         }
+    }
+
+    /// Start (or force) this node into degraded mode: every NVMe store
+    /// is placed on CPU instead. Used when restarting after a device
+    /// death — the replacement run must not trust the dead device.
+    pub fn degrade(&self) {
+        self.resilience.degraded.store(true, Ordering::Release);
     }
 
     /// A per-rank offload manager handle.
@@ -73,6 +180,7 @@ impl NodeResources {
             hierarchy: Arc::clone(&self.hierarchy),
             nvme: Arc::clone(&self.nvme),
             pinned: self.pinned.clone(),
+            resilience: Arc::clone(&self.resilience),
         }
     }
 }
@@ -119,21 +227,25 @@ impl DeviceBuf {
 /// resource).
 pub struct PendingLoad {
     dtype: DType,
-    /// Outstanding NVMe read.
-    ticket: Option<Ticket>,
+    /// Outstanding NVMe read and its device extent (for verification).
+    ticket: Option<(Ticket, u64, usize)>,
     /// Immediate result for GPU/CPU sources.
     immediate: Option<FlatBuffer>,
 }
 
 impl PendingLoad {
-    /// Block until the data is available.
+    /// Block until the data is available. NVMe loads are verified
+    /// against the checksum recorded at store time; a mismatch triggers
+    /// synchronous re-reads before surfacing [`Error::Corruption`], so a
+    /// prefetched buffer is never silently poisoned.
     pub fn wait(self, mgr: &OffloadManager) -> Result<FlatBuffer> {
         match (self.ticket, self.immediate) {
-            (Some(ticket), _) => {
+            (Some((ticket, offset, len)), _) => {
                 let bytes = mgr
                     .nvme
                     .wait(ticket)?
                     .ok_or_else(|| Error::Internal("read ticket returned no data".into()))?;
+                let bytes = mgr.verify_or_reread(offset, len, bytes)?;
                 FlatBuffer::from_bytes(self.dtype, bytes)
             }
             (None, Some(buf)) => Ok(buf),
@@ -153,6 +265,7 @@ pub struct OffloadManager {
     hierarchy: Arc<MemoryHierarchy>,
     nvme: Arc<NvmeEngine>,
     pinned: PinnedBufferPool,
+    resilience: Arc<ResilienceState>,
 }
 
 impl OffloadManager {
@@ -171,8 +284,46 @@ impl OffloadManager {
         &self.pinned
     }
 
+    /// True once NVMe stores are redirected to CPU — either because a
+    /// request exhausted its retry budget (the engine latched device
+    /// death) or because the node was explicitly degraded.
+    pub fn is_degraded(&self) -> bool {
+        self.resilience.degraded.load(Ordering::Acquire) || self.nvme.device_failed()
+    }
+
+    /// Health snapshot: degradation state, failover and corruption
+    /// counters.
+    pub fn health(&self) -> OffloadHealth {
+        OffloadHealth {
+            degraded: self.is_degraded(),
+            failovers: self.resilience.failovers.load(Ordering::Relaxed),
+            corruptions_recovered: self.resilience.corruptions_recovered.load(Ordering::Relaxed),
+            corruptions_unrecovered: self
+                .resilience
+                .corruptions_unrecovered
+                .load(Ordering::Relaxed),
+            io: self.nvme.stats(),
+        }
+    }
+
+    /// Redirect an NVMe store to CPU, counting the failover.
+    fn store_failover(&self, data: FlatBuffer) -> Result<DeviceBuf> {
+        self.resilience.degraded.store(true, Ordering::Release);
+        self.resilience.failovers.fetch_add(1, Ordering::Relaxed);
+        self.store(Device::cpu(), data)
+    }
+
     /// Allocate on `device` and store `data` there.
+    ///
+    /// NVMe stores degrade gracefully: once the device is declared dead
+    /// (or the node was degraded explicitly), the shard is placed in CPU
+    /// memory instead and the failover is counted in [`Self::health`].
+    /// Training slows down (the paper's NVMe capacity win is lost) but
+    /// does not abort.
     pub fn store(&self, device: Device, data: FlatBuffer) -> Result<DeviceBuf> {
+        if device.kind == DeviceKind::Nvme && self.is_degraded() {
+            return self.store_failover(data);
+        }
         let bytes = data.size_in_bytes() as u64;
         let block = self.hierarchy.alloc(device, bytes)?;
         let numel = data.numel();
@@ -185,11 +336,70 @@ impl OffloadManager {
                 // stores must be durable before the shard is dropped.
                 let _staging = self.pinned.acquire();
                 let ticket = self.nvme.submit_write(block.offset, data.as_bytes().to_vec());
-                self.nvme.wait(ticket)?;
-                None
+                match self.nvme.wait(ticket) {
+                    Ok(_) => {
+                        self.resilience.record(block.offset, data.as_bytes());
+                        None
+                    }
+                    Err(e) if e.is_device_failure() => {
+                        // The device died under this store; the data is
+                        // still in hand — fail over to CPU.
+                        self.hierarchy.free(device, block);
+                        return self.store_failover(data);
+                    }
+                    Err(e) => {
+                        self.hierarchy.free(device, block);
+                        return Err(e);
+                    }
+                }
             }
         };
         Ok(DeviceBuf { device, dtype, numel, block, ram })
+    }
+
+    /// One synchronous device read of `[offset, offset+len)`.
+    fn read_once(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let _staging = self.pinned.acquire();
+        let ticket = self.nvme.submit_read(offset, len);
+        self.nvme
+            .wait(ticket)?
+            .ok_or_else(|| Error::Internal("read returned no data".into()))
+    }
+
+    /// Verify `bytes` against the checksum recorded for the extent, if
+    /// any. On mismatch, re-read the device up to [`CORRUPTION_REREADS`]
+    /// times (silent transfer corruption is transient — the device still
+    /// holds clean data); persistent mismatch surfaces as
+    /// [`Error::Corruption`].
+    fn verify_or_reread(&self, offset: u64, len: usize, bytes: Vec<u8>) -> Result<Vec<u8>> {
+        let expected = match self.resilience.lookup(offset, len as u64) {
+            Some(crc) => crc,
+            None => return Ok(bytes),
+        };
+        let mut actual = crc32(&bytes);
+        if actual == expected {
+            return Ok(bytes);
+        }
+        for _ in 0..CORRUPTION_REREADS {
+            let again = self.read_once(offset, len)?;
+            actual = crc32(&again);
+            if actual == expected {
+                self.resilience.corruptions_recovered.fetch_add(1, Ordering::Relaxed);
+                return Ok(again);
+            }
+        }
+        self.resilience.corruptions_unrecovered.fetch_add(1, Ordering::Relaxed);
+        Err(Error::Corruption {
+            context: format!("NVMe extent [{offset:#x}, +{len} B) after {CORRUPTION_REREADS} re-reads"),
+            expected,
+            actual,
+        })
+    }
+
+    /// Checksum-verified synchronous read.
+    fn read_verified(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let bytes = self.read_once(offset, len)?;
+        self.verify_or_reread(offset, len, bytes)
     }
 
     /// Load the entire buffer.
@@ -197,12 +407,7 @@ impl OffloadManager {
         match &buf.ram {
             Some(data) => Ok(data.clone()),
             None => {
-                let _staging = self.pinned.acquire();
-                let ticket = self.nvme.submit_read(buf.block.offset, buf.size_in_bytes());
-                let bytes = self
-                    .nvme
-                    .wait(ticket)?
-                    .ok_or_else(|| Error::Internal("read returned no data".into()))?;
+                let bytes = self.read_verified(buf.block.offset, buf.size_in_bytes())?;
                 FlatBuffer::from_bytes(buf.dtype, bytes)
             }
         }
@@ -221,14 +426,13 @@ impl OffloadManager {
             Some(data) => data.slice(start, len),
             None => {
                 let es = buf.dtype.size_in_bytes() as u64;
-                let _staging = self.pinned.acquire();
-                let ticket = self
-                    .nvme
-                    .submit_read(buf.block.offset + start as u64 * es, buf.dtype.bytes_for(len));
-                let bytes = self
-                    .nvme
-                    .wait(ticket)?
-                    .ok_or_else(|| Error::Internal("read returned no data".into()))?;
+                // Sub-range reads verify only when they cover a recorded
+                // extent exactly (start == 0 and len == numel); partial
+                // extents have no recorded CRC and pass through.
+                let bytes = self.read_verified(
+                    buf.block.offset + start as u64 * es,
+                    buf.dtype.bytes_for(len),
+                )?;
                 FlatBuffer::from_bytes(buf.dtype, bytes)
             }
         }
@@ -246,8 +450,13 @@ impl OffloadManager {
             None => {
                 // Staging is charged transiently for the submission only.
                 let _staging = self.pinned.acquire();
-                let ticket = self.nvme.submit_read(buf.block.offset, buf.size_in_bytes());
-                Ok(PendingLoad { dtype: buf.dtype, ticket: Some(ticket), immediate: None })
+                let len = buf.size_in_bytes();
+                let ticket = self.nvme.submit_read(buf.block.offset, len);
+                Ok(PendingLoad {
+                    dtype: buf.dtype,
+                    ticket: Some((ticket, buf.block.offset, len)),
+                    immediate: None,
+                })
             }
         }
     }
@@ -266,6 +475,7 @@ impl OffloadManager {
                 let _staging = self.pinned.acquire();
                 let ticket = self.nvme.submit_write(buf.block.offset, data.as_bytes().to_vec());
                 self.nvme.wait(ticket)?;
+                self.resilience.record(buf.block.offset, data.as_bytes());
                 Ok(())
             }
         }
@@ -285,11 +495,13 @@ impl OffloadManager {
             Some(ram) => ram.write_slice(start, data),
             None => {
                 let es = buf.dtype.size_in_bytes() as u64;
+                let off = buf.block.offset + start as u64 * es;
                 let _staging = self.pinned.acquire();
-                let ticket = self
-                    .nvme
-                    .submit_write(buf.block.offset + start as u64 * es, data.as_bytes().to_vec());
+                let ticket = self.nvme.submit_write(off, data.as_bytes().to_vec());
                 self.nvme.wait(ticket)?;
+                // A partial overwrite invalidates the whole-buffer CRC
+                // and records one for the sub-extent it wrote.
+                self.resilience.record(off, data.as_bytes());
                 Ok(())
             }
         }
@@ -307,6 +519,9 @@ impl OffloadManager {
                 Ok(())
             }
             None => {
+                // Record the CRC at submission: the detached write either
+                // lands these exact bytes or reports failure at `flush`.
+                self.resilience.record(buf.block.offset, data.as_bytes());
                 self.nvme.submit_write_detached(buf.block.offset, data.as_bytes().to_vec());
                 Ok(())
             }
@@ -314,12 +529,28 @@ impl OffloadManager {
     }
 
     /// Drain all outstanding NVMe requests.
+    ///
+    /// A device failure here degrades the node instead of erroring: new
+    /// stores already avoid the device, and lost detached writes are
+    /// caught by the checksum registry when (if ever) the extent is read.
+    /// Durability of a dead device is moot, so training continues.
     pub fn flush(&self) -> Result<()> {
-        self.nvme.flush()
+        match self.nvme.flush() {
+            Err(e) if e.is_device_failure() => {
+                self.resilience.degraded.store(true, Ordering::Release);
+                Ok(())
+            }
+            r => r,
+        }
     }
 
     /// Release the buffer's device memory.
     pub fn free(&self, buf: DeviceBuf) {
+        if buf.device.kind == DeviceKind::Nvme {
+            // Drop stale checksums so a future tenant of this extent is
+            // not verified against our data.
+            self.resilience.invalidate(buf.block.offset, buf.block.len);
+        }
         self.hierarchy.free(buf.device, buf.block);
     }
 }
@@ -412,6 +643,110 @@ mod tests {
         mgr.overwrite_async(&mut buf, &buf_f32(&[5.0; 8])).unwrap();
         mgr.flush().unwrap();
         assert_eq!(mgr.load(&buf).unwrap().to_f32_vec(), vec![5.0; 8]);
+        mgr.free(buf);
+    }
+
+    fn faulty_node() -> (zi_nvme::FaultPlan, NodeResources) {
+        use std::time::Duration;
+        let spec = NodeMemorySpec::test_spec(2, 1 << 20, 1 << 20, 1 << 20);
+        let plan = zi_nvme::FaultPlan::new();
+        let backend = Arc::new(zi_nvme::FaultyBackend::new(MemBackend::new(), plan.clone()));
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(1),
+            deadline: Duration::from_secs(5),
+            jitter_seed: 5,
+        };
+        (plan, NodeResources::with_backend_policy(&spec, 1, backend, policy))
+    }
+
+    #[test]
+    fn silent_corruption_is_detected_and_repaired_by_reread() {
+        let (plan, node) = faulty_node();
+        let mgr = node.offload_manager();
+        let buf = mgr.store(Device::nvme(), buf_f32(&[3.25; 128])).unwrap();
+        plan.bitflip_next_reads(1); // first read returns a poisoned buffer
+        let data = mgr.load(&buf).unwrap();
+        assert_eq!(data.to_f32_vec(), vec![3.25; 128]);
+        let health = mgr.health();
+        assert_eq!(health.corruptions_recovered, 1);
+        assert_eq!(health.corruptions_unrecovered, 0);
+        assert!(!health.degraded);
+        mgr.free(buf);
+    }
+
+    #[test]
+    fn persistent_corruption_surfaces_typed_error() {
+        let (plan, node) = faulty_node();
+        let mgr = node.offload_manager();
+        let buf = mgr.store(Device::nvme(), buf_f32(&[1.0; 64])).unwrap();
+        // Poison the initial read and every re-read.
+        plan.bitflip_next_reads(1 + super::CORRUPTION_REREADS);
+        let err = mgr.load(&buf).unwrap_err();
+        assert!(matches!(err, Error::Corruption { .. }), "got {err}");
+        assert_eq!(mgr.health().corruptions_unrecovered, 1);
+        mgr.free(buf);
+    }
+
+    #[test]
+    fn prefetched_load_verifies_too() {
+        let (plan, node) = faulty_node();
+        let mgr = node.offload_manager();
+        let buf = mgr.store(Device::nvme(), buf_f32(&[9.0; 32])).unwrap();
+        plan.bitflip_next_reads(1);
+        let pending = mgr.begin_load(&buf).unwrap();
+        let data = pending.wait(&mgr).unwrap();
+        assert_eq!(data.to_f32_vec(), vec![9.0; 32]);
+        assert_eq!(mgr.health().corruptions_recovered, 1);
+        mgr.free(buf);
+    }
+
+    #[test]
+    fn dead_device_fails_stores_over_to_cpu() {
+        let (plan, node) = faulty_node();
+        let mgr = node.offload_manager();
+        // A store that dies mid-write falls back to CPU with the data.
+        plan.kill();
+        let buf = mgr.store(Device::nvme(), buf_f32(&[2.5; 16])).unwrap();
+        assert_eq!(buf.device(), Device::cpu());
+        assert_eq!(mgr.load(&buf).unwrap().to_f32_vec(), vec![2.5; 16]);
+        let health = mgr.health();
+        assert!(health.degraded);
+        assert_eq!(health.failovers, 1);
+        // Later stores skip the dead device entirely.
+        let buf2 = mgr.store(Device::nvme(), buf_f32(&[4.0; 8])).unwrap();
+        assert_eq!(buf2.device(), Device::cpu());
+        assert_eq!(mgr.health().failovers, 2);
+        // NVMe capacity was returned when the first store failed over.
+        assert_eq!(mgr.hierarchy().stats(Device::nvme()).in_use, 0);
+        mgr.free(buf);
+        mgr.free(buf2);
+    }
+
+    #[test]
+    fn explicit_degrade_redirects_before_any_failure() {
+        let (_plan, node) = faulty_node();
+        node.degrade();
+        let mgr = node.offload_manager();
+        let buf = mgr.store(Device::nvme(), buf_f32(&[1.5; 4])).unwrap();
+        assert_eq!(buf.device(), Device::cpu());
+        assert!(mgr.health().degraded);
+        mgr.free(buf);
+    }
+
+    #[test]
+    fn transient_store_faults_recover_without_failover() {
+        let (plan, node) = faulty_node();
+        let mgr = node.offload_manager();
+        plan.fail_next_writes(2); // < max_attempts
+        let buf = mgr.store(Device::nvme(), buf_f32(&[8.0; 8])).unwrap();
+        assert_eq!(buf.device(), Device::nvme());
+        assert_eq!(mgr.load(&buf).unwrap().to_f32_vec(), vec![8.0; 8]);
+        let health = mgr.health();
+        assert!(!health.degraded);
+        assert_eq!(health.failovers, 0);
+        assert!(mgr.nvme().stats().retries >= 2);
         mgr.free(buf);
     }
 

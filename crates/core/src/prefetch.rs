@@ -118,6 +118,11 @@ impl Prefetcher {
 
     /// Resolve `id`'s shard: consume the in-flight load if present
     /// (prefetch hit) or perform a synchronous load (miss).
+    ///
+    /// A failed in-flight load never hands out a poisoned buffer: the
+    /// typed error is surfaced, and if it is transient (e.g. a checksum
+    /// mismatch the re-read loop could not clear in time) one synchronous
+    /// demand load is attempted before giving up.
     pub fn fetch(
         &mut self,
         mgr: &OffloadManager,
@@ -126,7 +131,11 @@ impl Prefetcher {
     ) -> Result<FlatBuffer> {
         if let Some(pending) = self.pending.remove(&id) {
             self.stats.hits += 1;
-            pending.wait(mgr)
+            match pending.wait(mgr) {
+                Ok(buf) => Ok(buf),
+                Err(e) if e.is_transient() => mgr.load(shard),
+                Err(e) => Err(e),
+            }
         } else {
             self.stats.misses += 1;
             mgr.load(shard)
@@ -145,11 +154,14 @@ impl Prefetcher {
 
     /// Drop all in-flight loads (end of iteration housekeeping). The
     /// underlying NVMe reads complete harmlessly; their staging buffers
-    /// return to the pinned pool.
+    /// return to the pinned pool. Individual load failures are tolerated —
+    /// the data was never handed out, and the demand path will retry (or
+    /// surface the error) when the shard is actually needed.
     pub fn clear(&mut self, mgr: &OffloadManager) -> Result<()> {
         for (_, pending) in self.pending.drain() {
-            // Wait rather than leak the pinned staging buffer mid-flight.
-            let _ = pending.wait(mgr)?;
+            // Wait rather than leak the pinned staging buffer mid-flight;
+            // discard both the data and any error.
+            let _ = pending.wait(mgr);
         }
         Ok(())
     }

@@ -6,18 +6,21 @@
 //! dense single-process baseline when parameter storage is fp32) and by
 //! the examples/benches.
 
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::thread;
 
+use parking_lot::Mutex;
 use zi_memory::NodeMemorySpec;
 use zi_model::{DenseStore, GptConfig, GptModel, InMemoryActStore, NoopObserver, RunOptions};
+use zi_nvme::{MemBackend, RetryPolicy, StorageBackend};
 use zi_optim::{AdamConfig, AdamShard, LrSchedule};
 use zi_tensor::Tensor;
 use zi_types::{Error, Result};
 
 use crate::config::Strategy;
 use crate::engine::{EngineStats, ZeroEngine};
-use crate::offload::NodeResources;
+use crate::offload::{NodeResources, OffloadHealth};
 
 /// Everything needed to run a training session.
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +50,14 @@ pub struct TrainSpec {
     pub offload_activations: bool,
     /// Modules announced ahead via `hint_upcoming`.
     pub prefetch_window: usize,
+    /// Checkpoint every N optimizer steps into the in-memory vault
+    /// (0 = never). Checkpoints are what storage-failure recovery
+    /// resumes from.
+    pub checkpoint_every: usize,
+    /// How many times a run may be restarted after a storage failure
+    /// (device death, unrecoverable corruption) before the error is
+    /// surfaced to the caller. 0 = fail on first storage error.
+    pub max_recoveries: usize,
 }
 
 impl TrainSpec {
@@ -65,6 +76,8 @@ impl TrainSpec {
             activation_checkpointing: false,
             offload_activations: false,
             prefetch_window: 2,
+            checkpoint_every: 0,
+            max_recoveries: 0,
         }
     }
 }
@@ -77,6 +90,51 @@ pub struct TrainOutcome {
     pub final_params: Vec<Tensor>,
     /// Engine counters from rank 0.
     pub stats: EngineStats,
+    /// True if the run finished with NVMe stores degraded to CPU.
+    pub degraded: bool,
+    /// Times the run was restarted from a checkpoint after a storage
+    /// failure.
+    pub recoveries: usize,
+    /// Offload-path health at the end of the run (failover and
+    /// corruption counters).
+    pub health: OffloadHealth,
+}
+
+/// In-memory checkpoint store shared by the rank threads of one
+/// training session: per-rank engine-state blobs plus the loss history
+/// at save time, kept per step so recovery can pick the newest step
+/// *every* rank reached.
+/// One saved checkpoint: the engine-state blob and the losses so far.
+type Checkpoint = (Vec<u8>, Vec<f32>);
+
+#[derive(Default)]
+struct CheckpointVault {
+    // rank -> (completed steps -> checkpoint at that step)
+    inner: Mutex<HashMap<usize, BTreeMap<usize, Checkpoint>>>,
+}
+
+impl CheckpointVault {
+    fn save(&self, rank: usize, steps_done: usize, blob: Vec<u8>, losses: Vec<f32>) {
+        self.inner.lock().entry(rank).or_default().insert(steps_done, (blob, losses));
+    }
+
+    /// Newest step for which every rank holds a checkpoint.
+    fn latest_consistent(&self, world: usize) -> Option<usize> {
+        let inner = self.inner.lock();
+        let mut candidates: Option<Vec<usize>> = None;
+        for rank in 0..world {
+            let steps: Vec<usize> = inner.get(&rank)?.keys().copied().collect();
+            candidates = Some(match candidates {
+                None => steps,
+                Some(prev) => prev.into_iter().filter(|s| steps.contains(s)).collect(),
+            });
+        }
+        candidates.and_then(|c| c.into_iter().max())
+    }
+
+    fn get(&self, rank: usize, steps_done: usize) -> Option<(Vec<u8>, Vec<f32>)> {
+        self.inner.lock().get(&rank)?.get(&steps_done).cloned()
+    }
 }
 
 /// Deterministic synthetic next-token data: `target = (token + 1) % vocab`.
@@ -96,44 +154,116 @@ pub fn synthetic_batch(
     (tokens, targets)
 }
 
-/// Train a GPT with the given strategy across `spec.world` rank threads.
+/// Train a GPT with the given strategy across `spec.world` rank threads
+/// over an in-memory NVMe device.
 pub fn train_gpt(spec: &TrainSpec) -> Result<TrainOutcome> {
+    train_gpt_on(spec, Arc::new(MemBackend::new()))
+}
+
+/// [`train_gpt`] over an explicit storage backend (chaos tests inject a
+/// faulty device here) with the default NVMe retry policy.
+pub fn train_gpt_on(spec: &TrainSpec, backend: Arc<dyn StorageBackend>) -> Result<TrainOutcome> {
+    train_gpt_with_policy(spec, backend, RetryPolicy::default())
+}
+
+/// True if `e` is a storage-layer failure the trainer can recover from
+/// by restarting from a checkpoint (with NVMe degraded to CPU if the
+/// device is dead).
+fn is_storage_failure(e: &Error) -> bool {
+    e.is_device_failure() || matches!(e, Error::Corruption { .. })
+}
+
+/// [`train_gpt_on`] with an explicit NVMe retry policy.
+///
+/// This is the recovery loop: run the session; if a rank fails with a
+/// storage error and `spec.max_recoveries` allows, restart from the
+/// newest checkpoint every rank reached (or from scratch if none),
+/// degrading NVMe placement to CPU when the device died. Restarting
+/// replays the exact token stream, so a recovered run reproduces the
+/// fault-free trajectory bit for bit.
+///
+/// With `spec.world > 1` a mid-collective rank failure leaves sibling
+/// ranks blocked, so multi-rank specs should keep faults transient;
+/// device-death recovery is a single-rank (or full-node) story — see
+/// DESIGN.md "Failure model & recovery".
+pub fn train_gpt_with_policy(
+    spec: &TrainSpec,
+    backend: Arc<dyn StorageBackend>,
+    policy: RetryPolicy,
+) -> Result<TrainOutcome> {
     let spec = *spec;
-    let node = Arc::new(NodeResources::in_memory(&spec.node, spec.world));
-    let mut handles = Vec::with_capacity(spec.world);
-    for rank in 0..spec.world {
-        let node = Arc::clone(&node);
-        handles.push(
-            thread::Builder::new()
-                .name(format!("zi-rank-{rank}"))
-                .spawn(move || run_rank(rank, &spec, &node))
-                .expect("spawn rank thread"),
-        );
-    }
-    let mut outcome = None;
-    let mut first_err = None;
-    for (rank, h) in handles.into_iter().enumerate() {
-        match h.join() {
-            Ok(Ok(out)) => {
-                if rank == 0 {
-                    outcome = Some(out);
+    let vault = Arc::new(CheckpointVault::default());
+    let mut degraded_start = false;
+    let mut recoveries = 0usize;
+    loop {
+        let node = Arc::new(NodeResources::with_backend_policy(
+            &spec.node,
+            spec.world,
+            Arc::clone(&backend),
+            policy,
+        ));
+        if degraded_start {
+            node.degrade();
+        }
+        let resume = vault.latest_consistent(spec.world).filter(|_| spec.checkpoint_every > 0);
+        let mut handles = Vec::with_capacity(spec.world);
+        for rank in 0..spec.world {
+            let node = Arc::clone(&node);
+            let vault = Arc::clone(&vault);
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("zi-rank-{rank}"))
+                    .spawn(move || run_rank(rank, &spec, &node, &vault, resume))
+                    .expect("spawn rank thread"),
+            );
+        }
+        let mut outcome = None;
+        let mut first_err = None;
+        for (rank, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(Ok(out)) => {
+                    if rank == 0 {
+                        outcome = Some(out);
+                    }
+                }
+                Ok(Err(e)) => {
+                    first_err.get_or_insert(e);
+                }
+                Err(_) => {
+                    first_err.get_or_insert(Error::Internal(format!("rank {rank} panicked")));
                 }
             }
-            Ok(Err(e)) => {
-                first_err.get_or_insert(e);
+        }
+        let health = node.offload_manager().health();
+        match first_err {
+            None => {
+                let mut out = outcome
+                    .ok_or_else(|| Error::Internal("rank 0 produced no outcome".into()))?;
+                out.degraded = health.degraded;
+                out.recoveries = recoveries;
+                out.health = health;
+                return Ok(out);
             }
-            Err(_) => {
-                first_err.get_or_insert(Error::Internal(format!("rank {rank} panicked")));
+            Some(e) => {
+                if recoveries >= spec.max_recoveries || !is_storage_failure(&e) {
+                    return Err(e);
+                }
+                recoveries += 1;
+                // If the device died, the replacement run must not trust
+                // it: start degraded (all NVMe stores land on CPU).
+                degraded_start = degraded_start || health.degraded;
             }
         }
     }
-    match first_err {
-        Some(e) => Err(e),
-        None => outcome.ok_or_else(|| Error::Internal("rank 0 produced no outcome".into())),
-    }
 }
 
-fn run_rank(rank: usize, spec: &TrainSpec, node: &NodeResources) -> Result<TrainOutcome> {
+fn run_rank(
+    rank: usize,
+    spec: &TrainSpec,
+    node: &NodeResources,
+    vault: &CheckpointVault,
+    resume: Option<usize>,
+) -> Result<TrainOutcome> {
     let model = GptModel::new(spec.model);
     let comm = node.group.communicator(rank);
     let mut engine = ZeroEngine::new(
@@ -157,7 +287,21 @@ fn run_rank(rank: usize, spec: &TrainSpec, node: &NodeResources) -> Result<Train
     };
     let mut mem_acts = InMemoryActStore::new();
     engine.set_grad_accumulation(spec.grad_accumulation);
-    for step in 0..spec.steps {
+    // Resume from the vault if recovery asked for it. `load_state` is a
+    // collective for replicated-parameter strategies, and `resume` is the
+    // same value on every rank, so all ranks enter it together.
+    let start_step = match resume {
+        Some(step) => {
+            let (blob, saved_losses) = vault.get(rank, step).ok_or_else(|| {
+                Error::Internal(format!("rank {rank}: missing checkpoint for step {step}"))
+            })?;
+            engine.load_state(&blob)?;
+            losses = saved_losses;
+            step
+        }
+        None => 0,
+    };
+    for step in start_step..spec.steps {
         if let Some(sched) = &spec.schedule {
             engine.set_lr(sched.lr_at(step as u64));
         }
@@ -194,6 +338,12 @@ fn run_rank(rank: usize, spec: &TrainSpec, node: &NodeResources) -> Result<Train
             node.group.communicator(rank).sum_scalar(loss) / world
         };
         losses.push(mean);
+        // Periodic checkpoint into the shared vault. Save is collective
+        // (state export gathers replicated parameters), and the cadence is
+        // spec-driven, so ranks stay in lockstep.
+        if spec.checkpoint_every > 0 && (step + 1) % spec.checkpoint_every == 0 {
+            vault.save(rank, step + 1, engine.save_state()?, losses.clone());
+        }
     }
     // Export final parameters (collective, so every rank runs it).
     let ids: Vec<_> = model.registry().iter().map(|m| m.id).collect();
@@ -203,7 +353,16 @@ fn run_rank(rank: usize, spec: &TrainSpec, node: &NodeResources) -> Result<Train
     }
     let stats = engine.stats();
     engine.dispose()?;
-    Ok(TrainOutcome { losses, final_params, stats })
+    // Resilience fields are filled in by the recovery loop, which alone
+    // sees the whole session.
+    Ok(TrainOutcome {
+        losses,
+        final_params,
+        stats,
+        degraded: false,
+        recoveries: 0,
+        health: OffloadHealth::default(),
+    })
 }
 
 /// Dense single-process reference: full parameters, full Adam state, one
@@ -526,6 +685,103 @@ mod accumulation_tests {
             .zip(&init)
             .any(|(a, b)| a.data() != b.data());
         assert!(moved, "lr>0 must move parameters");
+    }
+}
+
+#[cfg(test)]
+mod recovery_tests {
+    use super::*;
+    use zi_nvme::{FaultPlan, FaultyBackend};
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: std::time::Duration::from_micros(100),
+            max_backoff: std::time::Duration::from_millis(1),
+            deadline: std::time::Duration::from_secs(5),
+            jitter_seed: 7,
+        }
+    }
+
+    /// Recovery tests run single-rank: a rank failing mid-collective
+    /// would leave sibling ranks blocked (see train_gpt_with_policy docs).
+    fn spec() -> TrainSpec {
+        let cfg = GptConfig { vocab: 16, hidden: 8, layers: 2, heads: 2, seq: 4, seed: 31 };
+        let mut spec =
+            TrainSpec::test_default(cfg, Strategy::infinity_nvme().with_f32_params(), 1);
+        spec.steps = 6;
+        spec.checkpoint_every = 2;
+        spec.max_recoveries = 2;
+        spec
+    }
+
+    #[test]
+    fn dead_device_from_start_trains_degraded_without_error() {
+        let spec = spec();
+        let reference = train_gpt(&spec).unwrap();
+
+        let plan = FaultPlan::new();
+        plan.kill();
+        let backend = Arc::new(FaultyBackend::new(MemBackend::new(), plan));
+        let out = train_gpt_with_policy(&spec, backend, fast_policy()).unwrap();
+
+        // Every NVMe store failed over to CPU; nothing ever errored, so
+        // no restart was needed and the numerics are untouched.
+        assert!(out.degraded, "run must report degradation");
+        assert!(out.health.failovers > 0, "stores must have failed over");
+        assert_eq!(out.recoveries, 0, "graceful failover needs no restart");
+        assert_eq!(out.losses, reference.losses);
+    }
+
+    #[test]
+    fn mid_run_device_death_recovers_from_checkpoint() {
+        let spec = spec();
+        let reference = train_gpt(&spec).unwrap();
+
+        // Calibrate: a fault-free run over an instrumented device counts
+        // the total data operations the workload performs.
+        let quiet = FaultPlan::new();
+        let backend = Arc::new(FaultyBackend::new(MemBackend::new(), quiet.clone()));
+        train_gpt_with_policy(&spec, backend, fast_policy()).unwrap();
+        let total_ops = quiet.ops_seen();
+        assert!(total_ops > 0);
+
+        // Kill the device at roughly 60% of the run — past the step-2 and
+        // step-4 checkpoints, with NVMe-resident shards still to be read.
+        let plan = FaultPlan::new();
+        plan.kill_after_ops(total_ops * 6 / 10);
+        let backend = Arc::new(FaultyBackend::new(MemBackend::new(), plan.clone()));
+        let out = train_gpt_with_policy(&spec, backend, fast_policy()).unwrap();
+
+        assert!(out.recoveries >= 1, "death mid-run must force a restart");
+        assert!(out.degraded, "the replacement run must distrust the device");
+        assert!(out.health.failovers > 0, "degraded stores must land on CPU");
+        assert!(plan.injected().dead_rejections > 0, "the device really died");
+        // Restart replays the exact token stream from the checkpoint, so
+        // the recovered trajectory is bit-for-bit the fault-free one.
+        assert_eq!(out.losses, reference.losses);
+        for (a, b) in out.final_params.iter().zip(&reference.final_params) {
+            assert_eq!(a.data(), b.data(), "recovered params must match exactly");
+        }
+    }
+
+    #[test]
+    fn storage_error_without_recovery_budget_is_surfaced() {
+        let mut spec = spec();
+        spec.max_recoveries = 0;
+
+        let quiet = FaultPlan::new();
+        let backend = Arc::new(FaultyBackend::new(MemBackend::new(), quiet.clone()));
+        train_gpt_with_policy(&spec, backend, fast_policy()).unwrap();
+
+        let plan = FaultPlan::new();
+        plan.kill_after_ops(quiet.ops_seen() * 6 / 10);
+        let backend = Arc::new(FaultyBackend::new(MemBackend::new(), plan));
+        let err = match train_gpt_with_policy(&spec, backend, fast_policy()) {
+            Err(e) => e,
+            Ok(_) => panic!("run over a dying device with no recovery budget must fail"),
+        };
+        assert!(err.is_device_failure(), "expected a device failure, got {err}");
     }
 }
 

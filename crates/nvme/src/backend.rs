@@ -2,7 +2,7 @@
 
 use std::fs::{File, OpenOptions};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 use zi_types::{Error, Result};
@@ -20,11 +20,12 @@ pub trait StorageBackend: Send + Sync {
     fn write_at(&self, offset: u64, data: &[u8]) -> Result<()>;
     /// Durability barrier.
     fn sync(&self) -> Result<()>;
-    /// Current device size in bytes.
-    fn len(&self) -> u64;
+    /// Current device size in bytes. Errors propagate: a device whose
+    /// size cannot be read is failing, not empty.
+    fn len(&self) -> Result<u64>;
     /// True if the device holds no bytes.
-    fn is_empty(&self) -> bool {
-        self.len() == 0
+    fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
     }
 }
 
@@ -79,19 +80,21 @@ impl StorageBackend for FileBackend {
         Ok(())
     }
 
-    fn len(&self) -> u64 {
-        self.file.metadata().map(|m| m.len()).unwrap_or(0)
+    fn len(&self) -> Result<u64> {
+        Ok(self.file.metadata()?.len())
     }
 }
 
 /// In-memory backend with deterministic behaviour for tests.
+///
+/// For failure injection, wrap it in a
+/// [`FaultyBackend`](crate::fault::FaultyBackend) driven by a
+/// [`FaultPlan`](crate::fault::FaultPlan).
 #[derive(Default)]
 pub struct MemBackend {
     data: RwLock<Vec<u8>>,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
-    fail_reads: AtomicBool,
-    fail_writes: AtomicBool,
 }
 
 impl MemBackend {
@@ -109,25 +112,10 @@ impl MemBackend {
     pub fn bytes_written(&self) -> u64 {
         self.bytes_written.load(Ordering::Relaxed)
     }
-
-    /// Make all subsequent reads fail (failure injection).
-    pub fn set_fail_reads(&self, fail: bool) {
-        self.fail_reads.store(fail, Ordering::SeqCst);
-    }
-
-    /// Make all subsequent writes fail (failure injection).
-    pub fn set_fail_writes(&self, fail: bool) {
-        self.fail_writes.store(fail, Ordering::SeqCst);
-    }
 }
 
 impl StorageBackend for MemBackend {
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
-        if self.fail_reads.load(Ordering::SeqCst) {
-            return Err(Error::Io(std::io::Error::other(
-                "injected read failure",
-            )));
-        }
         let data = self.data.read();
         let start = offset as usize;
         let end = start + buf.len();
@@ -143,11 +131,6 @@ impl StorageBackend for MemBackend {
     }
 
     fn write_at(&self, offset: u64, data_in: &[u8]) -> Result<()> {
-        if self.fail_writes.load(Ordering::SeqCst) {
-            return Err(Error::Io(std::io::Error::other(
-                "injected write failure",
-            )));
-        }
         let mut data = self.data.write();
         let start = offset as usize;
         let end = start + data_in.len();
@@ -163,8 +146,8 @@ impl StorageBackend for MemBackend {
         Ok(())
     }
 
-    fn len(&self) -> u64 {
-        self.data.read().len() as u64
+    fn len(&self) -> Result<u64> {
+        Ok(self.data.read().len() as u64)
     }
 }
 
@@ -175,9 +158,9 @@ mod tests {
     #[test]
     fn mem_backend_round_trip() {
         let b = MemBackend::new();
-        assert!(b.is_empty());
+        assert!(b.is_empty().unwrap());
         b.write_at(4, &[1, 2, 3]).unwrap();
-        assert_eq!(b.len(), 7);
+        assert_eq!(b.len().unwrap(), 7);
         let mut buf = [0u8; 3];
         b.read_at(4, &mut buf).unwrap();
         assert_eq!(buf, [1, 2, 3]);
@@ -194,19 +177,6 @@ mod tests {
     }
 
     #[test]
-    fn mem_backend_failure_injection() {
-        let b = MemBackend::new();
-        b.write_at(0, &[1, 2]).unwrap();
-        b.set_fail_reads(true);
-        let mut buf = [0u8; 1];
-        assert!(b.read_at(0, &mut buf).is_err());
-        b.set_fail_reads(false);
-        assert!(b.read_at(0, &mut buf).is_ok());
-        b.set_fail_writes(true);
-        assert!(b.write_at(0, &[3]).is_err());
-    }
-
-    #[test]
     fn file_backend_round_trip() {
         let dir = std::env::temp_dir().join(format!("zi_nvme_test_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -217,7 +187,7 @@ mod tests {
         let mut buf = vec![0u8; 10];
         b.read_at(100, &mut buf).unwrap();
         assert_eq!(&buf, b"hello nvme");
-        assert_eq!(b.len(), 110);
+        assert_eq!(b.len().unwrap(), 110);
         assert_eq!(b.bytes_written(), 10);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -279,7 +249,7 @@ impl<B: StorageBackend> StorageBackend for ThrottledBackend<B> {
         self.inner.sync()
     }
 
-    fn len(&self) -> u64 {
+    fn len(&self) -> Result<u64> {
         self.inner.len()
     }
 }
@@ -303,8 +273,10 @@ mod throttle_tests {
 
     #[test]
     fn throttled_errors_still_propagate() {
-        let inner = MemBackend::new();
-        inner.set_fail_reads(true);
+        use crate::fault::{FaultPlan, FaultyBackend};
+        let plan = FaultPlan::new();
+        plan.fail_next_reads(1);
+        let inner = FaultyBackend::new(MemBackend::new(), plan);
         let b = ThrottledBackend::new(inner, 1e9, Duration::ZERO);
         let mut buf = [0u8; 4];
         assert!(b.read_at(0, &mut buf).is_err());

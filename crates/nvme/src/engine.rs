@@ -5,9 +5,17 @@
 //! handling), and lets callers either wait on individual tickets or issue a
 //! `flush` barrier that drains every outstanding request — the "explicit
 //! synchronization requests to flush ongoing read/writes" of Sec. 6.3.
+//!
+//! Every request runs under a [`RetryPolicy`]: transient backend errors
+//! are retried with bounded, jittered backoff and a per-request deadline.
+//! When a request gives up (attempts exhausted or deadline exceeded) the
+//! engine latches a *device failed* flag — subsequent requests fail fast
+//! with [`Error::DeviceFailed`] instead of burning their own retry
+//! budgets, and the offload layer above uses the flag to fail over new
+//! shards to CPU memory.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -16,6 +24,7 @@ use parking_lot::{Condvar, Mutex};
 use zi_types::{Error, Result};
 
 use crate::backend::StorageBackend;
+use crate::retry::RetryPolicy;
 
 /// Handle for one submitted request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -34,6 +43,11 @@ pub struct IoStats {
     pub bytes_written: u64,
     /// Requests that completed with an error.
     pub errors: u64,
+    /// Individual attempt retries across all requests (a request that
+    /// succeeded on its third attempt contributes 2).
+    pub retries: u64,
+    /// Requests whose retry budget was exhausted or deadline exceeded.
+    pub gave_up: u64,
 }
 
 enum Request {
@@ -50,8 +64,9 @@ enum Outcome {
     ReadOk(Vec<u8>),
     /// Write completed.
     WriteOk,
-    /// Request failed.
-    Failed(String),
+    /// Request failed after exhausting its retry policy (or with a
+    /// permanent error).
+    Failed(Error),
 }
 
 struct Shared {
@@ -59,7 +74,42 @@ struct Shared {
     done: Condvar,
     in_flight: AtomicU64,
     stats: Mutex<IoStats>,
-    detached_errors: Mutex<Vec<String>>,
+    detached_errors: Mutex<Vec<Error>>,
+    /// Latched when any request gives up; later requests fail fast.
+    device_failed: AtomicBool,
+}
+
+impl Shared {
+    /// Run `op` under `policy` with fail-fast once the device is dead,
+    /// recording retry/give-up stats.
+    fn execute<T>(
+        &self,
+        policy: &RetryPolicy,
+        context: &str,
+        op: impl FnMut() -> Result<T>,
+    ) -> Result<T> {
+        if self.device_failed.load(Ordering::Acquire) {
+            self.stats.lock().errors += 1;
+            return Err(Error::DeviceFailed(format!(
+                "{context}: device previously declared failed"
+            )));
+        }
+        let report = policy.run(context, op);
+        {
+            let mut st = self.stats.lock();
+            st.retries += report.retries as u64;
+            if report.gave_up {
+                st.gave_up += 1;
+            }
+            if report.result.is_err() {
+                st.errors += 1;
+            }
+        }
+        if report.gave_up {
+            self.device_failed.store(true, Ordering::Release);
+        }
+        report.result
+    }
 }
 
 /// Asynchronous NVMe I/O engine.
@@ -69,11 +119,22 @@ pub struct NvmeEngine {
     workers: Vec<JoinHandle<()>>,
     shared: Arc<Shared>,
     next_ticket: AtomicU64,
+    policy: RetryPolicy,
 }
 
 impl NvmeEngine {
-    /// Spawn an engine with `num_workers` I/O threads over `backend`.
+    /// Spawn an engine with `num_workers` I/O threads over `backend`,
+    /// using the default [`RetryPolicy`].
     pub fn new(backend: Arc<dyn StorageBackend>, num_workers: usize) -> Self {
+        Self::with_policy(backend, num_workers, RetryPolicy::default())
+    }
+
+    /// Spawn an engine with an explicit retry policy.
+    pub fn with_policy(
+        backend: Arc<dyn StorageBackend>,
+        num_workers: usize,
+        policy: RetryPolicy,
+    ) -> Self {
         assert!(num_workers > 0, "engine needs at least one worker");
         let (tx, rx) = unbounded::<Request>();
         let shared = Arc::new(Shared {
@@ -82,6 +143,7 @@ impl NvmeEngine {
             in_flight: AtomicU64::new(0),
             stats: Mutex::new(IoStats::default()),
             detached_errors: Mutex::new(Vec::new()),
+            device_failed: AtomicBool::new(false),
         });
         let mut workers = Vec::with_capacity(num_workers);
         for i in 0..num_workers {
@@ -93,56 +155,7 @@ impl NvmeEngine {
                     .name(format!("zi-nvme-{i}"))
                     .spawn(move || {
                         while let Ok(req) = rx.recv() {
-                            if let Request::DetachedWrite { offset, data } = req {
-                                match backend.write_at(offset, &data) {
-                                    Ok(()) => {
-                                        let mut st = shared.stats.lock();
-                                        st.writes += 1;
-                                        st.bytes_written += data.len() as u64;
-                                    }
-                                    Err(e) => {
-                                        shared.stats.lock().errors += 1;
-                                        shared.detached_errors.lock().push(e.to_string());
-                                    }
-                                }
-                                shared.in_flight.fetch_sub(1, Ordering::AcqRel);
-                                shared.done.notify_all();
-                                continue;
-                            }
-                            let (ticket, outcome) = match req {
-                                Request::Read { ticket, offset, len } => {
-                                    let mut buf = vec![0u8; len];
-                                    match backend.read_at(offset, &mut buf) {
-                                        Ok(()) => {
-                                            let mut st = shared.stats.lock();
-                                            st.reads += 1;
-                                            st.bytes_read += len as u64;
-                                            (ticket, Outcome::ReadOk(buf))
-                                        }
-                                        Err(e) => {
-                                            shared.stats.lock().errors += 1;
-                                            (ticket, Outcome::Failed(e.to_string()))
-                                        }
-                                    }
-                                }
-                                Request::Write { ticket, offset, data } => {
-                                    match backend.write_at(offset, &data) {
-                                        Ok(()) => {
-                                            let mut st = shared.stats.lock();
-                                            st.writes += 1;
-                                            st.bytes_written += data.len() as u64;
-                                            (ticket, Outcome::WriteOk)
-                                        }
-                                        Err(e) => {
-                                            shared.stats.lock().errors += 1;
-                                            (ticket, Outcome::Failed(e.to_string()))
-                                        }
-                                    }
-                                }
-                                Request::DetachedWrite { .. } => unreachable!("handled above"),
-                            };
-                            let mut comps = shared.completions.lock();
-                            comps.insert(ticket.0, outcome);
+                            Self::serve(&req, &backend, &shared, &policy);
                             shared.in_flight.fetch_sub(1, Ordering::AcqRel);
                             shared.done.notify_all();
                         }
@@ -150,12 +163,54 @@ impl NvmeEngine {
                     .expect("spawn nvme worker"),
             );
         }
-        NvmeEngine {
-            backend,
-            tx: Some(tx),
-            workers,
-            shared,
-            next_ticket: AtomicU64::new(0),
+        NvmeEngine { backend, tx: Some(tx), workers, shared, next_ticket: AtomicU64::new(0), policy }
+    }
+
+    /// Execute one request on a worker thread and record its outcome.
+    fn serve(req: &Request, backend: &Arc<dyn StorageBackend>, shared: &Shared, policy: &RetryPolicy) {
+        match req {
+            Request::DetachedWrite { offset, data } => {
+                let context = format!("detached write {} B at {offset:#x}", data.len());
+                match shared.execute(policy, &context, || backend.write_at(*offset, data)) {
+                    Ok(()) => {
+                        let mut st = shared.stats.lock();
+                        st.writes += 1;
+                        st.bytes_written += data.len() as u64;
+                    }
+                    Err(e) => shared.detached_errors.lock().push(e),
+                }
+            }
+            Request::Read { ticket, offset, len } => {
+                let context = format!("read {len} B at {offset:#x}");
+                let outcome = match shared.execute(policy, &context, || {
+                    let mut buf = vec![0u8; *len];
+                    backend.read_at(*offset, &mut buf)?;
+                    Ok(buf)
+                }) {
+                    Ok(buf) => {
+                        let mut st = shared.stats.lock();
+                        st.reads += 1;
+                        st.bytes_read += *len as u64;
+                        Outcome::ReadOk(buf)
+                    }
+                    Err(e) => Outcome::Failed(e),
+                };
+                shared.completions.lock().insert(ticket.0, outcome);
+            }
+            Request::Write { ticket, offset, data } => {
+                let context = format!("write {} B at {offset:#x}", data.len());
+                let outcome =
+                    match shared.execute(policy, &context, || backend.write_at(*offset, data)) {
+                        Ok(()) => {
+                            let mut st = shared.stats.lock();
+                            st.writes += 1;
+                            st.bytes_written += data.len() as u64;
+                            Outcome::WriteOk
+                        }
+                        Err(e) => Outcome::Failed(e),
+                    };
+                shared.completions.lock().insert(ticket.0, outcome);
+            }
         }
     }
 
@@ -205,9 +260,7 @@ impl NvmeEngine {
                 return match outcome {
                     Outcome::ReadOk(buf) => Ok(Some(buf)),
                     Outcome::WriteOk => Ok(None),
-                    Outcome::Failed(msg) => {
-                        Err(Error::Io(std::io::Error::other(msg)))
-                    }
+                    Outcome::Failed(err) => Err(err),
                 };
             }
             self.shared.done.wait(&mut comps);
@@ -225,11 +278,11 @@ impl NvmeEngine {
             self.shared.done.wait(&mut comps);
         }
         drop(comps);
-        if let Some(msg) = {
+        if let Some(err) = {
             let mut errs = self.shared.detached_errors.lock();
             if errs.is_empty() { None } else { Some(errs.remove(0)) }
         } {
-            return Err(Error::Io(std::io::Error::other(msg)));
+            return Err(err);
         }
         self.backend.sync()
     }
@@ -242,6 +295,18 @@ impl NvmeEngine {
     /// Statistics snapshot.
     pub fn stats(&self) -> IoStats {
         *self.shared.stats.lock()
+    }
+
+    /// True once any request has exhausted its retry budget — the device
+    /// is considered dead and new requests fail fast. The offload layer
+    /// uses this to degrade gracefully to CPU memory.
+    pub fn device_failed(&self) -> bool {
+        self.shared.device_failed.load(Ordering::Acquire)
+    }
+
+    /// The retry policy requests run under.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
     }
 
     /// Number of worker threads.
@@ -264,11 +329,30 @@ impl Drop for NvmeEngine {
 mod tests {
     use super::*;
     use crate::backend::MemBackend;
+    use crate::fault::{FaultPlan, FaultyBackend};
 
     fn engine(workers: usize) -> (Arc<MemBackend>, NvmeEngine) {
         let backend = Arc::new(MemBackend::new());
         let eng = NvmeEngine::new(Arc::clone(&backend) as Arc<dyn StorageBackend>, workers);
         (backend, eng)
+    }
+
+    /// Engine over a faulty in-memory device with a fast test policy.
+    fn faulty_engine(workers: usize, policy: RetryPolicy) -> (FaultPlan, NvmeEngine) {
+        let plan = FaultPlan::new();
+        let backend = Arc::new(FaultyBackend::new(MemBackend::new(), plan.clone()));
+        let eng = NvmeEngine::with_policy(backend as Arc<dyn StorageBackend>, workers, policy);
+        (plan, eng)
+    }
+
+    fn fast_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: std::time::Duration::from_micros(200),
+            max_backoff: std::time::Duration::from_millis(2),
+            deadline: std::time::Duration::from_secs(5),
+            jitter_seed: 11,
+        }
     }
 
     #[test]
@@ -284,6 +368,8 @@ mod tests {
         assert_eq!(st.writes, 1);
         assert_eq!(st.bytes_read, 32);
         assert_eq!(st.bytes_written, 32);
+        assert_eq!(st.retries, 0);
+        assert_eq!(st.gave_up, 0);
     }
 
     #[test]
@@ -315,9 +401,65 @@ mod tests {
     }
 
     #[test]
+    fn transient_read_faults_are_retried_to_success() {
+        let (plan, eng) = faulty_engine(1, fast_policy());
+        let w = eng.submit_write(0, vec![3u8; 8]);
+        eng.wait(w).unwrap();
+        plan.fail_next_reads(2); // < max_attempts − 1
+        let r = eng.submit_read(0, 8);
+        let buf = eng.wait(r).unwrap().unwrap();
+        assert_eq!(buf, vec![3u8; 8]);
+        let st = eng.stats();
+        assert_eq!(st.retries, 2);
+        assert_eq!(st.gave_up, 0);
+        assert_eq!(st.errors, 0);
+        assert!(!eng.device_failed());
+    }
+
+    #[test]
+    fn torn_write_is_healed_by_retry() {
+        let (plan, eng) = faulty_engine(1, fast_policy());
+        plan.torn_next_writes(1);
+        let w = eng.submit_write(0, vec![0xcd; 256]);
+        eng.wait(w).unwrap(); // retry rewrote the full extent
+        let r = eng.submit_read(0, 256);
+        assert_eq!(eng.wait(r).unwrap().unwrap(), vec![0xcd; 256]);
+        assert_eq!(eng.stats().retries, 1);
+        assert_eq!(plan.injected().torn_writes, 1);
+    }
+
+    #[test]
+    fn exhausted_retries_latch_device_failed_and_fail_fast() {
+        let (plan, eng) = faulty_engine(1, fast_policy());
+        let w = eng.submit_write(0, vec![1u8; 4]);
+        eng.wait(w).unwrap();
+        plan.kill();
+        let r = eng.submit_read(0, 4);
+        let err = eng.wait(r).unwrap_err();
+        // Scripted death injects DeviceFailed (permanent) — no retry loop.
+        assert!(err.is_device_failure());
+        // Permanent backend errors don't trip the give-up latch; a
+        // transient storm that exhausts the budget does.
+        plan.revive();
+        plan.fail_next_reads(u32::MAX);
+        let r = eng.submit_read(0, 4);
+        let err = eng.wait(r).unwrap_err();
+        assert!(matches!(err, Error::DeviceFailed(_)));
+        assert!(eng.device_failed());
+        let st = eng.stats();
+        assert_eq!(st.gave_up, 1);
+        assert_eq!(st.retries, 3);
+        // Fail-fast path: no further retries are burned.
+        plan.fail_next_reads(0);
+        let r = eng.submit_read(0, 4);
+        assert!(matches!(eng.wait(r).unwrap_err(), Error::DeviceFailed(_)));
+        assert_eq!(eng.stats().retries, 3);
+    }
+
+    #[test]
     fn read_error_surfaces_at_wait() {
-        let (backend, eng) = engine(2);
-        backend.set_fail_reads(true);
+        let (plan, eng) = faulty_engine(2, RetryPolicy::none());
+        plan.fail_next_reads(1);
         let t = eng.submit_read(0, 8);
         let err = eng.wait(t).unwrap_err();
         assert!(err.to_string().contains("injected read failure"));
@@ -326,13 +468,12 @@ mod tests {
 
     #[test]
     fn flush_reports_detached_errors() {
-        let (backend, eng) = engine(2);
-        backend.set_fail_writes(true);
+        let (plan, eng) = faulty_engine(2, RetryPolicy::none());
+        plan.fail_next_writes(1);
         eng.submit_write_detached(0, vec![1, 2, 3]);
         let err = eng.flush().unwrap_err();
         assert!(err.to_string().contains("injected write failure"));
         // A subsequent flush succeeds (error consumed).
-        backend.set_fail_writes(false);
         eng.flush().unwrap();
     }
 

@@ -12,11 +12,25 @@
 //! * [`FileBackend`] — a real file accessed with positioned reads/writes
 //!   from many threads; this is the closest laptop equivalent of an NVMe
 //!   SSD and is what the benches measure.
-//! * [`MemBackend`] — an in-memory device with byte counters and an
-//!   optional failure injector, for deterministic tests.
+//! * [`MemBackend`] — an in-memory device with byte counters, for
+//!   deterministic tests.
+//!
+//! Resilience layers (see DESIGN.md, "Failure model & recovery"):
+//! * [`FaultyBackend`] + [`FaultPlan`] — deterministic fault injection
+//!   (transient errors, latency spikes, torn writes, bit flips, device
+//!   death) for chaos testing any backend.
+//! * [`RetryPolicy`] — bounded, jittered, deadline-capped retry of
+//!   transient failures, wired into every [`NvmeEngine`] request.
+//! * [`checksum::crc32`] — shard integrity checksums used by the offload
+//!   layer to detect silent corruption end to end.
 
 pub mod backend;
+pub mod checksum;
 pub mod engine;
+pub mod fault;
+pub mod retry;
 
 pub use backend::{FileBackend, MemBackend, StorageBackend, ThrottledBackend};
 pub use engine::{IoStats, NvmeEngine, Ticket};
+pub use fault::{FaultPlan, FaultProfile, FaultyBackend, InjectedStats};
+pub use retry::{RetryPolicy, RetryReport};

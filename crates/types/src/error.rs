@@ -32,6 +32,27 @@ pub enum Error {
     },
     /// An I/O operation on the NVMe backend failed.
     Io(std::io::Error),
+    /// An I/O request exceeded its deadline (including retry backoff).
+    Timeout {
+        /// What was being attempted.
+        context: String,
+        /// Budget that was exceeded.
+        deadline: std::time::Duration,
+    },
+    /// Data read back does not match the checksum recorded at write time
+    /// — silent corruption made loud.
+    Corruption {
+        /// What was being read.
+        context: String,
+        /// Checksum recorded when the extent was written.
+        expected: u32,
+        /// Checksum of the bytes actually read.
+        actual: u32,
+    },
+    /// The storage device has been declared dead: a request exhausted its
+    /// retry budget, or the backend reported an unrecoverable fault. Once
+    /// raised, subsequent requests fail fast with this error too.
+    DeviceFailed(String),
     /// An invalid argument or configuration was supplied.
     InvalidArgument(String),
     /// Internal invariant violated (a bug in this library).
@@ -48,6 +69,22 @@ impl Error {
     pub fn is_oom(&self) -> bool {
         matches!(self, Error::OutOfMemory { .. })
     }
+
+    /// True if retrying the failed operation may succeed.
+    ///
+    /// Transient: plain I/O errors (the device may recover) and checksum
+    /// mismatches (a re-read may return clean data). Permanent: timeouts
+    /// (the retry budget is already spent), device death, and every
+    /// non-I/O error — retrying a shape mismatch or OOM cannot help.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Error::Io(_) | Error::Corruption { .. })
+    }
+
+    /// True if this error means the storage device is unusable and the
+    /// caller should fail over / recover rather than retry.
+    pub fn is_device_failure(&self) -> bool {
+        matches!(self, Error::DeviceFailed(_) | Error::Timeout { .. })
+    }
 }
 
 impl fmt::Display for Error {
@@ -60,6 +97,14 @@ impl fmt::Display for Error {
             ),
             Error::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
             Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Timeout { context, deadline } => {
+                write!(f, "timeout: {context} exceeded {deadline:?}")
+            }
+            Error::Corruption { context, expected, actual } => write!(
+                f,
+                "corruption detected: {context}: checksum {actual:#010x}, expected {expected:#010x}"
+            ),
+            Error::DeviceFailed(msg) => write!(f, "storage device failed: {msg}"),
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             Error::Internal(msg) => write!(f, "internal error: {msg}"),
         }
@@ -111,5 +156,30 @@ mod tests {
     fn shape_helper() {
         let e = Error::shape("a vs b");
         assert_eq!(e.to_string(), "shape mismatch: a vs b");
+    }
+
+    #[test]
+    fn transient_classification() {
+        let io: Error = std::io::Error::new(std::io::ErrorKind::Other, "hiccup").into();
+        assert!(io.is_transient());
+        assert!(!io.is_device_failure());
+
+        let corrupt =
+            Error::Corruption { context: "shard 3".into(), expected: 0xdead_beef, actual: 0 };
+        assert!(corrupt.is_transient());
+
+        let timeout = Error::Timeout {
+            context: "read 4 KiB".into(),
+            deadline: std::time::Duration::from_millis(50),
+        };
+        assert!(!timeout.is_transient());
+        assert!(timeout.is_device_failure());
+
+        let dead = Error::DeviceFailed("retries exhausted".into());
+        assert!(!dead.is_transient());
+        assert!(dead.is_device_failure());
+        assert!(dead.to_string().contains("retries exhausted"));
+
+        assert!(!Error::shape("x").is_transient());
     }
 }

@@ -34,6 +34,8 @@ fn main() {
         activation_checkpointing: true,
         offload_activations: false,
         prefetch_window: 2,
+        checkpoint_every: 0,
+        max_recoveries: 0,
     };
 
     println!("training a {}-parameter GPT with {}", param_count(&model), spec.strategy.name);

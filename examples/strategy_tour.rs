@@ -44,6 +44,8 @@ fn main() {
             activation_checkpointing: false,
             offload_activations: false,
             prefetch_window: 2,
+            checkpoint_every: 0,
+            max_recoveries: 0,
         };
         let out = train_gpt(&spec).expect("strategy run");
         let max_d = out

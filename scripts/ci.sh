@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Repo CI gate: build, tier-1 + workspace tests, lints.
+# Run from the repo root: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings

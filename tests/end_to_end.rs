@@ -145,19 +145,27 @@ fn gpu_working_memory_stays_bounded() {
     }
 }
 
-/// Injected NVMe write failures surface as errors, not hangs or silent
-/// corruption.
+/// Injected NVMe read failures that outlast the retry budget surface as
+/// typed errors, not hangs or silent corruption.
 #[test]
 fn nvme_failures_propagate_cleanly() {
-    use zi_nvme::{MemBackend, StorageBackend};
+    use zi_nvme::{FaultPlan, FaultyBackend, MemBackend, RetryPolicy, StorageBackend};
 
     let cfg = GptConfig::tiny();
     let spec = NodeMemorySpec::test_spec(1, 1 << 24, 1 << 26, 1 << 26);
-    let backend = Arc::new(MemBackend::new());
-    let node = NodeResources::with_backend(
+    let plan = FaultPlan::new();
+    let backend = Arc::new(FaultyBackend::new(MemBackend::new(), plan.clone()));
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        base_backoff: std::time::Duration::from_micros(100),
+        max_backoff: std::time::Duration::from_millis(1),
+        ..RetryPolicy::default()
+    };
+    let node = NodeResources::with_backend_policy(
         &spec,
         1,
-        Arc::clone(&backend) as Arc<dyn StorageBackend>,
+        backend as Arc<dyn StorageBackend>,
+        policy,
     );
     let model = GptModel::new(cfg);
 
@@ -172,10 +180,11 @@ fn nvme_failures_propagate_cleanly() {
     )
     .expect("engine");
 
-    backend.set_fail_reads(true);
+    // More consecutive failures than the retry budget can absorb.
+    plan.fail_next_reads(u32::MAX);
     let opts = RunOptions::default();
     let (tokens, targets) = synthetic_batch(&cfg, 1, 0);
     let result = model.train_step(&mut engine, &tokens, &targets, &opts);
     assert!(result.is_err(), "read failures must surface");
-    backend.set_fail_reads(false);
+    assert!(plan.injected().read_faults > 0, "faults really were injected");
 }

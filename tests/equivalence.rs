@@ -25,6 +25,8 @@ fn spec(strategy: Strategy, world: usize, micro: usize) -> TrainSpec {
         activation_checkpointing: false,
         offload_activations: false,
         prefetch_window: 2,
+        checkpoint_every: 0,
+        max_recoveries: 0,
     }
 }
 

@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use zero_infinity_suite::model::{GptConfig, GptModel, ParamStore, RunOptions};
+use zero_infinity_suite::model::{GptConfig, GptModel, RunOptions};
 use zero_infinity_suite::optim::AdamConfig;
 use zero_infinity_suite::zero::{trainer::synthetic_batch, NodeResources, Strategy, ZeroEngine};
 use zi_memory::NodeMemorySpec;

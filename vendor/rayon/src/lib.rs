@@ -1,0 +1,156 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The workspace uses three rayon entry points:
+//!
+//! * `par_chunks_mut(n).enumerate().for_each(..)` — the matmul hot path.
+//!   Implemented here with real parallelism via `std::thread::scope`,
+//!   round-robin distributing chunks over `available_parallelism` workers.
+//! * `par_iter()` / `par_iter_mut()` — element-wise zips in the optimizer.
+//!   Implemented as the corresponding sequential `std` iterators; the
+//!   zip-chain shapes rayon supports compose identically on `std`
+//!   iterators, so callers compile unchanged.
+
+/// Extension methods mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+/// Chunked mutable parallel iterator (pre-`enumerate`).
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+/// Chunked mutable parallel iterator with indices attached.
+pub struct EnumParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk: usize,
+}
+
+/// Below this many elements the scoped-thread dispatch costs more than it
+/// saves; run sequentially.
+const PAR_THRESHOLD: usize = 1 << 14;
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Attach chunk indices.
+    pub fn enumerate(self) -> EnumParChunksMut<'a, T> {
+        EnumParChunksMut { slice: self.slice, chunk: self.chunk }
+    }
+
+    /// Apply `f` to every chunk.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, c)| f(c));
+    }
+}
+
+impl<T: Send> EnumParChunksMut<'_, T> {
+    /// Apply `f` to every `(index, chunk)` pair, in parallel when the
+    /// slice is large enough to amortize thread spawn.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let chunks: Vec<(usize, &mut [T])> = self.slice.chunks_mut(self.chunk).enumerate().collect();
+        if workers <= 1 || chunks.len() <= 1 || self.chunk.saturating_mul(chunks.len()) < PAR_THRESHOLD
+        {
+            for item in chunks {
+                f(item);
+            }
+            return;
+        }
+        let mut buckets: Vec<Vec<(usize, &mut [T])>> =
+            (0..workers.min(chunks.len())).map(|_| Vec::new()).collect();
+        let n_buckets = buckets.len();
+        for (i, item) in chunks.into_iter().enumerate() {
+            buckets[i % n_buckets].push(item);
+        }
+        let f = &f;
+        std::thread::scope(|scope| {
+            for bucket in buckets {
+                scope.spawn(move || {
+                    for item in bucket {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Parallel extensions on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel analogue of `chunks_mut`.
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T>;
+    /// Element-wise "parallel" iterator (sequential in this stand-in).
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+}
+
+/// Parallel extensions on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Element-wise "parallel" iterator (sequential in this stand-in).
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk > 0, "chunk size must be positive");
+        ParChunksMut { slice: self, chunk }
+    }
+
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_covers_every_chunk_once() {
+        let mut v = vec![0u32; 100_000];
+        v.par_chunks_mut(1000).enumerate().for_each(|(i, c)| {
+            for x in c.iter_mut() {
+                *x += i as u32 + 1;
+            }
+        });
+        // Every element written exactly once with its chunk index + 1.
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(x, (i / 1000) as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn small_inputs_run_sequentially_and_correctly() {
+        let mut v = vec![1i64; 17];
+        v.par_chunks_mut(4).for_each(|c| {
+            for x in c.iter_mut() {
+                *x *= 2;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn zip_chains_compose() {
+        let mut a = vec![1.0f32; 8];
+        let mut m = vec![0.0f32; 8];
+        let g = vec![2.0f32; 8];
+        a.par_iter_mut().zip(m.par_iter_mut().zip(g.par_iter())).for_each(|(p, (mm, gg))| {
+            *mm += gg;
+            *p += *mm;
+        });
+        assert!(a.iter().all(|&x| x == 3.0));
+        assert!(m.iter().all(|&x| x == 2.0));
+    }
+}
