@@ -8,6 +8,9 @@
 //!   linear at different tiling factors.
 //! * `act_ckpt/{on,off}` — Fig. 6e flavored: iteration with and without
 //!   activation recomputation.
+//! * `step_pipeline/<depth>` — Sec. 5.2.2/6.2 flavored: NVMe-streamed
+//!   optimizer step at different pipeline depths over a file-backed
+//!   device.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -17,7 +20,7 @@ use zero_infinity::{Strategy, TiledLinear, ZeroEngine};
 use zero_infinity::{trainer::synthetic_batch, NodeResources};
 use zi_memory::NodeMemorySpec;
 use zi_model::{GptConfig, GptModel, ParamRegistry, RunOptions};
-use zi_nvme::{MemBackend, StorageBackend, ThrottledBackend};
+use zi_nvme::{FileBackend, MemBackend, StorageBackend, ThrottledBackend};
 use zi_optim::AdamConfig;
 use zi_tensor::Tensor;
 
@@ -229,12 +232,62 @@ fn bench_optimizer_chunking(c: &mut Criterion) {
     group.finish();
 }
 
+/// Pipelined vs sequential NVMe optimizer step (DESIGN.md ablation): the
+/// same chunked streaming update over a real file-backed NVMe device at
+/// different `step_pipeline_depth` settings. Depth 1 is the fully
+/// sequential read→update→write loop; depth ≥ 2 keeps later chunks' reads
+/// and earlier chunks' write-behind in flight during the current update.
+fn bench_step_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_pipeline");
+    group.sample_size(10);
+    const NUMEL: usize = 1 << 16;
+    for depth in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            let spec = NodeMemorySpec::test_spec(1, 1 << 26, 1 << 27, 1 << 27);
+            let path = std::env::temp_dir()
+                .join(format!("zi_step_pipeline_bench_{}_{depth}.dat", std::process::id()));
+            // Throttle the file device to real-NVMe characteristics; a
+            // tmpfs-backed file answers at RAM speed, which hides the
+            // latency the pipeline exists to overlap.
+            let backend = Arc::new(ThrottledBackend::new(
+                FileBackend::create(&path).expect("file nvme"),
+                2e9,
+                Duration::from_micros(100),
+            )) as Arc<dyn StorageBackend>;
+            let node = NodeResources::with_backend(&spec, 1, backend);
+            let mut reg = ParamRegistry::new();
+            let id = reg.register("big", &[NUMEL], 3, 0.1, 0.0);
+            let mut engine = ZeroEngine::new(
+                &reg,
+                Strategy::infinity_nvme()
+                    .with_optimizer_chunk(1 << 12)
+                    .with_step_pipeline_depth(depth),
+                node.offload_manager(),
+                node.group.communicator(0),
+                AdamConfig::default(),
+            )
+            .expect("engine");
+            let grad = Tensor::randn_seeded(&[NUMEL], 5, 0.1);
+            b.iter(|| {
+                use zi_model::ParamStore;
+                engine.add_grad(id, &grad).unwrap();
+                engine.step().unwrap();
+            });
+            drop(engine);
+            drop(node);
+            let _ = std::fs::remove_file(&path);
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_strategies,
     bench_prefetch,
     bench_prefetch_depth,
     bench_optimizer_chunking,
+    bench_step_pipeline,
     bench_tiling,
     bench_act_ckpt
 );

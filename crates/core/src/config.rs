@@ -44,9 +44,17 @@ pub struct Strategy {
     pub param_dtype: DType,
     /// Enable the dynamic prefetcher (Sec. 6.2).
     pub prefetch: bool,
+    /// Parameters prefetched ahead of the current trace position by the
+    /// dynamic prefetcher (Sec. 6.2). Ignored when `prefetch` is off.
+    pub prefetch_window: usize,
     /// Elements per chunk when streaming optimizer state through CPU
     /// memory during the step (Sec. 5.2.2); `usize::MAX` = monolithic.
     pub optimizer_chunk: usize,
+    /// Optimizer-step pipeline depth (Sec. 5.2.2 + 6.2 overlap-centric
+    /// design): how many chunks may have their NVMe→CPU reads in flight
+    /// at once while earlier chunks update and write back. Depth 1 is the
+    /// fully sequential read→update→write loop.
+    pub step_pipeline_depth: usize,
 }
 
 impl Strategy {
@@ -60,7 +68,9 @@ impl Strategy {
             placement: Placement::GPU,
             param_dtype: DType::F16,
             prefetch: false,
+            prefetch_window: 3,
             optimizer_chunk: usize::MAX,
+            step_pipeline_depth: 1,
         }
     }
 
@@ -127,6 +137,9 @@ impl Strategy {
                 optimizer: DeviceKind::Nvme,
             },
             optimizer_chunk: 1 << 16,
+            // NVMe-resident optimizer state is where the three-hop
+            // pipeline pays off; overlap by default (Sec. 6.2).
+            step_pipeline_depth: 2,
             ..Strategy::zero_3()
         }
     }
@@ -157,6 +170,16 @@ impl Strategy {
     /// Override the optimizer streaming chunk size (elements).
     pub fn with_optimizer_chunk(self, elems: usize) -> Strategy {
         Strategy { optimizer_chunk: elems, ..self }
+    }
+
+    /// Override the optimizer-step pipeline depth (1 = sequential).
+    pub fn with_step_pipeline_depth(self, depth: usize) -> Strategy {
+        Strategy { step_pipeline_depth: depth, ..self }
+    }
+
+    /// Override the dynamic-prefetch look-ahead window.
+    pub fn with_prefetch_window(self, window: usize) -> Strategy {
+        Strategy { prefetch_window: window, ..self }
     }
 }
 
@@ -191,5 +214,16 @@ mod tests {
         assert_eq!(s.param_dtype, DType::F32);
         assert!(!s.prefetch);
         assert_eq!(s.name, "ZeRO-Inf-NVMe");
+        let s = s.with_step_pipeline_depth(4).with_prefetch_window(5);
+        assert_eq!(s.step_pipeline_depth, 4);
+        assert_eq!(s.prefetch_window, 5);
+    }
+
+    #[test]
+    fn nvme_strategy_pipelines_by_default() {
+        assert_eq!(Strategy::infinity_nvme().step_pipeline_depth, 2);
+        // RAM-tier strategies resolve loads instantly; sequential default.
+        assert_eq!(Strategy::infinity_cpu().step_pipeline_depth, 1);
+        assert_eq!(Strategy::data_parallel().step_pipeline_depth, 1);
     }
 }

@@ -23,17 +23,17 @@
 //!    Replicated-parameter strategies (ZeRO-1/2/Offload) instead allgather
 //!    the updated slices back into every replica.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use zi_comm::{Communicator, Partitioner};
-use zi_memory::Block;
+use zi_memory::{Block, ScratchPool};
 use zi_model::{ParamId, ParamRegistry, ParamStore};
-use zi_optim::{adam_update_chunk, AdamConfig, LossScaler};
+use zi_optim::{adam_update_chunk_publish, AdamConfig, LossScaler};
 use zi_tensor::{FlatBuffer, Tensor};
 use zi_types::{DType, Device, DeviceKind, Error, Result};
 
 use crate::config::Strategy;
-use crate::offload::{DeviceBuf, OffloadManager};
+use crate::offload::{DeviceBuf, OffloadManager, PendingLoad, WriteBehind};
 use crate::prefetch::{PrefetchStats, Prefetcher, TraceMap};
 
 /// How parameters are stored between uses.
@@ -68,6 +68,12 @@ struct ShardState {
     shard_len: usize,
     param: ParamStorage,
     grad: Option<GradStorage>,
+    /// Set when any accumulated gradient element went non-finite; the
+    /// overflow scan is fused into accumulation (a non-finite term keeps
+    /// every later running sum non-finite, so OR-ing per-deposit flags
+    /// equals scanning the final gradient) — `step` reads the flags
+    /// instead of re-loading every gradient buffer.
+    grad_nonfinite: bool,
     optim: OptimStorage,
 }
 
@@ -95,6 +101,10 @@ pub struct EngineStats {
     pub skipped_steps: u64,
     /// Optimizer steps applied.
     pub steps: u64,
+    /// Optimizer chunks whose update began while device I/O (later
+    /// chunks' reads or earlier chunks' write-behind) was still in
+    /// flight — the pipelined step's achieved read/update/write overlap.
+    pub step_io_overlap: u64,
     /// Prefetcher effectiveness.
     pub prefetch: PrefetchStats,
 }
@@ -114,6 +124,8 @@ pub struct ZeroEngine {
     resident: HashMap<ParamId, Resident>,
     prefetcher: Prefetcher,
     trace: TraceMap,
+    /// Recycled f32 chunk buffers for the streaming optimizer step.
+    scratch: ScratchPool,
     stats: EngineStats,
 }
 
@@ -154,6 +166,11 @@ impl ZeroEngine {
         }
         if strategy.optimizer_chunk == 0 {
             return Err(Error::InvalidArgument("optimizer_chunk must be nonzero".into()));
+        }
+        if strategy.step_pipeline_depth == 0 {
+            return Err(Error::InvalidArgument(
+                "step_pipeline_depth must be at least 1 (1 = sequential)".into(),
+            ));
         }
         let rank = comm.rank();
         let world = comm.world_size();
@@ -204,6 +221,7 @@ impl ZeroEngine {
                 shard_len,
                 param,
                 grad: None,
+                grad_nonfinite: false,
                 optim,
             });
         }
@@ -220,6 +238,7 @@ impl ZeroEngine {
             resident: HashMap::new(),
             prefetcher: Prefetcher::new(),
             trace: TraceMap::new(),
+            scratch: ScratchPool::new(),
             stats: EngineStats::default(),
         })
     }
@@ -275,7 +294,7 @@ impl ZeroEngine {
         if !self.strategy.prefetch || !self.trace.has_history() {
             return;
         }
-        for nid in self.trace.predict_next(3) {
+        for nid in self.trace.predict_next(self.strategy.prefetch_window) {
             if self.resident.contains_key(&nid) || self.prefetcher.is_pending(nid) {
                 continue;
             }
@@ -295,14 +314,12 @@ impl ZeroEngine {
                 let buf = match gs {
                     GradStorage::Partitioned(b) | GradStorage::Replicated(b) => b,
                 };
-                let mut cur = self.mgr.load(buf)?.to_f32_vec();
-                if cur.len() != delta.len() {
+                if buf.numel() != delta.len() {
                     return Err(Error::Internal("gradient accumulation length drift".into()));
                 }
-                for (c, d) in cur.iter_mut().zip(delta) {
-                    *c += d;
-                }
-                self.mgr.overwrite(buf, &FlatBuffer::from_f32(DType::F32, &cur))?;
+                // In place on the gradient tier: no load→add→overwrite
+                // round trip, and the overflow scan rides the same pass.
+                st.grad_nonfinite |= self.mgr.accumulate_f32(buf, delta)?;
             }
             slot @ None => {
                 let buf =
@@ -312,6 +329,7 @@ impl ZeroEngine {
                 } else {
                     GradStorage::Replicated(buf)
                 });
+                st.grad_nonfinite = LossScaler::has_overflow(delta);
             }
         }
         Ok(())
@@ -320,6 +338,7 @@ impl ZeroEngine {
     /// Drop all accumulated gradients (used when a step is skipped).
     pub fn clear_grads(&mut self) {
         for st in &mut self.shards {
+            st.grad_nonfinite = false;
             if let Some(gs) = st.grad.take() {
                 let buf = match gs {
                     GradStorage::Partitioned(b) | GradStorage::Replicated(b) => b,
@@ -334,20 +353,11 @@ impl ZeroEngine {
     /// backoff), `true` if parameters were updated.
     pub fn step(&mut self) -> Result<bool> {
         // Global overflow check: any non-finite gradient anywhere skips
-        // the step on every rank.
-        let mut local_overflow = 0.0f32;
-        for st in &self.shards {
-            if let Some(gs) = &st.grad {
-                let buf = match gs {
-                    GradStorage::Partitioned(b) | GradStorage::Replicated(b) => b,
-                };
-                let vals = self.mgr.load(buf)?.to_f32_vec();
-                if LossScaler::has_overflow(&vals) {
-                    local_overflow = 1.0;
-                    break;
-                }
-            }
-        }
+        // the step on every rank. The scan itself happened during
+        // accumulation (see `ShardState::grad_nonfinite`), so this costs
+        // one flag sweep and one collective — no gradient re-load.
+        let local_overflow =
+            if self.shards.iter().any(|st| st.grad_nonfinite) { 1.0f32 } else { 0.0 };
         let any_overflow = self.comm.sum_scalar(local_overflow) > 0.0;
         if any_overflow {
             self.clear_grads();
@@ -362,6 +372,7 @@ impl ZeroEngine {
         let rank = self.comm.rank();
         for idx in 0..self.shards.len() {
             let Some(gs) = self.shards[idx].grad.take() else { continue };
+            self.shards[idx].grad_nonfinite = false;
             let st = &self.shards[idx];
             let numel = st.numel;
             let shard_len = st.shard_len;
@@ -394,46 +405,26 @@ impl ZeroEngine {
                 *g /= world;
             }
 
-            // Stream the optimizer state through bounded chunks.
-            let st = &mut self.shards[idx];
-            st.optim.step += 1;
-            let step_no = st.optim.step;
+            // Stream the optimizer state through bounded chunks with a
+            // depth-deep read pipeline and bounded write-behind.
             let total = grad_vec.len();
             let chunk = self.strategy.optimizer_chunk.min(total.max(1));
+            let depth = self.strategy.step_pipeline_depth.max(1);
             let mut new_master = vec![0f32; total];
-            let mut start = 0;
-            while start < total {
-                let len = chunk.min(total - start);
-                let mut mchunk = self.mgr.load_elems(&st.optim.master, start, len)?.to_f32_vec();
-                let mut m1 = self.mgr.load_elems(&st.optim.m, start, len)?.to_f32_vec();
-                let mut m2 = self.mgr.load_elems(&st.optim.v, start, len)?.to_f32_vec();
-                adam_update_chunk(
-                    &self.adam,
-                    step_no,
-                    &mut mchunk,
-                    &mut m1,
-                    &mut m2,
-                    &grad_vec[start..start + len],
-                );
-                self.mgr.overwrite_elems(
-                    &mut st.optim.master,
-                    start,
-                    &FlatBuffer::from_f32(DType::F32, &mchunk),
-                )?;
-                self.mgr.overwrite_elems(
-                    &mut st.optim.m,
-                    start,
-                    &FlatBuffer::from_f32(DType::F32, &m1),
-                )?;
-                self.mgr.overwrite_elems(
-                    &mut st.optim.v,
-                    start,
-                    &FlatBuffer::from_f32(DType::F32, &m2),
-                )?;
-                new_master[start..start + len].copy_from_slice(&mchunk);
-                self.stats.optimizer_chunks += 1;
-                start += len;
-            }
+            let st = &mut self.shards[idx];
+            st.optim.step += 1;
+            let streamed = stream_shard_update(
+                &self.mgr,
+                &self.scratch,
+                &self.adam,
+                &mut st.optim,
+                &grad_vec,
+                chunk,
+                depth,
+                &mut new_master,
+            )?;
+            self.stats.optimizer_chunks += streamed.chunks;
+            self.stats.step_io_overlap += streamed.overlapped;
 
             // Publish the updated parameters in storage dtype.
             self.publish_master(idx, &new_master)?;
@@ -660,6 +651,108 @@ fn device_for(kind: DeviceKind, rank: usize) -> Device {
     }
 }
 
+/// Counters produced by one shard's streamed update.
+#[derive(Default)]
+struct StreamStats {
+    /// Chunks updated.
+    chunks: u64,
+    /// Chunks whose update began with device I/O still in flight.
+    overlapped: u64,
+}
+
+/// Stream one shard's optimizer state (master, m, v) through bounded
+/// chunks with a `depth`-deep read pipeline and bounded write-behind
+/// (Sec. 5.2.2 + overlap-centric design, Sec. 6.2).
+///
+/// While chunk k runs `adam_update_chunk_publish`, the three reads of
+/// chunks k+1..k+depth are already in flight and the writes of chunks
+/// < k drain asynchronously under back-pressure. `depth == 1`
+/// degenerates to the fully sequential read→update→write loop (each
+/// chunk's writes are drained before the next chunk starts).
+///
+/// All write-behind tickets are reconciled before returning — on the
+/// success path and on every error path — so failures surface as typed
+/// errors here (preserving the retry/checksum/failover semantics) and
+/// no request leaks into the end-of-iteration flush barrier.
+#[allow(clippy::too_many_arguments)]
+fn stream_shard_update(
+    mgr: &OffloadManager,
+    scratch: &ScratchPool,
+    adam: &AdamConfig,
+    optim: &mut OptimStorage,
+    grad_vec: &[f32],
+    chunk: usize,
+    depth: usize,
+    new_master: &mut [f32],
+) -> Result<StreamStats> {
+    let total = grad_vec.len();
+    let step_no = optim.step;
+    let mut stats = StreamStats::default();
+    // Window sized to the pipeline: three writes per in-flight chunk.
+    let mut wb = WriteBehind::new(3 * depth);
+    let mut pending: VecDeque<(usize, usize, [PendingLoad; 3])> = VecDeque::new();
+    let mut issued = 0usize;
+
+    let mut run = || -> Result<()> {
+        while issued < total || !pending.is_empty() {
+            // Keep `depth` chunks' reads in flight ahead of the update.
+            while issued < total && pending.len() < depth {
+                let len = chunk.min(total - issued);
+                let loads = [
+                    mgr.begin_load_elems(&optim.master, issued, len)?,
+                    mgr.begin_load_elems(&optim.m, issued, len)?,
+                    mgr.begin_load_elems(&optim.v, issued, len)?,
+                ];
+                pending.push_back((issued, len, loads));
+                issued += len;
+            }
+            let (start, len, [pm, p1, p2]) = pending.pop_front().expect("pending non-empty");
+            let mut mchunk = scratch.acquire(len);
+            let mut m1 = scratch.acquire(len);
+            let mut m2 = scratch.acquire(len);
+            pm.wait(mgr)?.decode_f32_into(&mut mchunk);
+            p1.wait(mgr)?.decode_f32_into(&mut m1);
+            p2.wait(mgr)?.decode_f32_into(&mut m2);
+            // Measured after the waits: anything still in flight now is
+            // genuine overlap (later chunks' reads, earlier writes).
+            if mgr.nvme().in_flight() > 0 {
+                stats.overlapped += 1;
+            }
+            adam_update_chunk_publish(
+                adam,
+                step_no,
+                &mut mchunk,
+                &mut m1,
+                &mut m2,
+                &grad_vec[start..start + len],
+                &mut new_master[start..start + len],
+            );
+            wb.submit_elems(
+                mgr,
+                &mut optim.master,
+                start,
+                &FlatBuffer::from_f32(DType::F32, &mchunk),
+            )?;
+            wb.submit_elems(mgr, &mut optim.m, start, &FlatBuffer::from_f32(DType::F32, &m1))?;
+            wb.submit_elems(mgr, &mut optim.v, start, &FlatBuffer::from_f32(DType::F32, &m2))?;
+            if depth == 1 {
+                // Sequential semantics: this chunk is durable before the
+                // next chunk's reads are even issued.
+                wb.drain(mgr)?;
+            }
+            stats.chunks += 1;
+        }
+        Ok(())
+    };
+    let result = run();
+    // Reconcile the write-behind in every case; the first error wins.
+    match (result, wb.drain(mgr)) {
+        (Err(e), _) => Err(e),
+        (Ok(()), Err(e)) => Err(e),
+        (Ok(()), Ok(())) => Ok(stats),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -847,6 +940,128 @@ mod tests {
         for dev in [Device::gpu(0), Device::cpu(), Device::nvme()] {
             assert_eq!(node.hierarchy.stats(dev).in_use, 0, "leak on {dev}");
         }
+    }
+
+    #[test]
+    fn pipelined_step_is_bit_identical_to_sequential() {
+        let run = |depth: usize| {
+            let (_node, mut eng, reg) = single_rank(
+                Strategy::infinity_nvme()
+                    .with_f32_params()
+                    .with_optimizer_chunk(5)
+                    .with_step_pipeline_depth(depth),
+            );
+            let id = reg.find("w").unwrap();
+            for s in 0..3 {
+                let grad =
+                    Tensor::from_vec(&[3, 4], (0..12).map(|i| (i + s) as f32 * 0.1).collect())
+                        .unwrap();
+                eng.add_grad(id, &grad).unwrap();
+                eng.step().unwrap();
+            }
+            let out = eng.export_param(id).unwrap();
+            eng.dispose().unwrap();
+            out
+        };
+        let sequential = run(1);
+        for depth in [2, 3, 4, 8] {
+            assert_eq!(
+                sequential.data(),
+                run(depth).data(),
+                "pipeline depth {depth} must be invisible to the math"
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_step_keeps_multiple_requests_in_flight() {
+        use std::time::Duration;
+        use zi_nvme::{MemBackend, ThrottledBackend};
+        // Slow the device enough that reads genuinely linger in the
+        // queue; prefetch off so every in-flight request belongs to the
+        // optimizer-step pipeline.
+        let spec = NodeMemorySpec::test_spec(1, 1 << 22, 1 << 22, 1 << 22);
+        let backend = std::sync::Arc::new(ThrottledBackend::new(
+            MemBackend::new(),
+            2e9,
+            Duration::from_millis(2),
+        ));
+        let node = NodeResources::with_backend(&spec, 1, backend);
+        let reg = tiny_registry();
+        let mut eng = ZeroEngine::new(
+            &reg,
+            Strategy::infinity_nvme()
+                .with_f32_params()
+                .with_prefetch(false)
+                .with_optimizer_chunk(3)
+                .with_step_pipeline_depth(3),
+            node.offload_manager(),
+            node.group.communicator(0),
+            AdamConfig::default(),
+        )
+        .unwrap();
+        let id = reg.find("w").unwrap();
+        eng.add_grad(id, &Tensor::from_vec(&[3, 4], vec![1.0; 12]).unwrap()).unwrap();
+        let peak_before = node.nvme.stats().in_flight_peak;
+        assert!(eng.step().unwrap());
+        let stats = eng.stats();
+        assert!(
+            stats.step_io_overlap > 0,
+            "depth-3 pipeline over a slow device must overlap update with I/O: {stats:?}"
+        );
+        let peak = node.nvme.stats().in_flight_peak;
+        assert!(peak >= 2, "expected ≥ 2 concurrent requests, peak was {peak} (before: {peak_before})");
+        eng.dispose().unwrap();
+    }
+
+    #[test]
+    fn zero_pipeline_depth_rejected() {
+        let spec = NodeMemorySpec::test_spec(1, 1 << 20, 1 << 20, 1 << 20);
+        let node = NodeResources::in_memory(&spec, 1);
+        let reg = tiny_registry();
+        assert!(ZeroEngine::new(
+            &reg,
+            Strategy::infinity_nvme().with_step_pipeline_depth(0),
+            node.offload_manager(),
+            node.group.communicator(0),
+            AdamConfig::default(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn overflow_flag_clears_after_skipped_and_applied_steps() {
+        let (_node, mut eng, reg) = single_rank(Strategy::infinity_nvme().with_f32_params());
+        let id = reg.find("w").unwrap();
+        // Overflow arrives via accumulation (second deposit).
+        eng.add_grad(id, &Tensor::from_vec(&[3, 4], vec![1.0; 12]).unwrap()).unwrap();
+        eng.add_grad(id, &Tensor::from_vec(&[3, 4], vec![f32::MAX; 12]).unwrap()).unwrap();
+        eng.add_grad(id, &Tensor::from_vec(&[3, 4], vec![f32::MAX; 12]).unwrap()).unwrap();
+        assert!(!eng.step().unwrap(), "fused flag must catch accumulation overflow");
+        // The flag must not poison the next, healthy step.
+        eng.add_grad(id, &Tensor::from_vec(&[3, 4], vec![0.1; 12]).unwrap()).unwrap();
+        assert!(eng.step().unwrap());
+        assert_eq!(eng.stats().skipped_steps, 1);
+        assert_eq!(eng.stats().steps, 1);
+        eng.dispose().unwrap();
+    }
+
+    #[test]
+    fn step_scratch_buffers_are_recycled() {
+        let (_node, mut eng, reg) = single_rank(
+            Strategy::infinity_nvme().with_f32_params().with_optimizer_chunk(4),
+        );
+        let id = reg.find("w").unwrap();
+        for _ in 0..3 {
+            eng.add_grad(id, &Tensor::from_vec(&[3, 4], vec![0.5; 12]).unwrap()).unwrap();
+            eng.step().unwrap();
+        }
+        let st = eng.scratch.stats();
+        assert!(
+            st.reused > st.allocated,
+            "steady-state steps must recycle chunk buffers: {st:?}"
+        );
+        eng.dispose().unwrap();
     }
 
     #[test]

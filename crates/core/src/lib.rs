@@ -61,7 +61,7 @@ pub use activations::OffloadActStore;
 pub use config::{Placement, Strategy};
 pub use engine::{EngineStats, ZeroEngine};
 pub use mp::{train_gpt_2d, MpAllReduce, Spec2D};
-pub use offload::{DeviceBuf, NodeResources, OffloadHealth, OffloadManager};
+pub use offload::{DeviceBuf, NodeResources, OffloadHealth, OffloadManager, PendingLoad, WriteBehind};
 pub use pp::{train_gpt_pipeline, PipelineSpec};
 pub use tiling::TiledLinear;
 pub use trainer::{train_gpt, train_gpt_on, train_gpt_with_policy, TrainOutcome, TrainSpec};

@@ -8,7 +8,7 @@
 //! of the pinned pool for its duration, bounding staging memory the way
 //! the paper's pinned-memory management layer does (Sec. 6.3).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -461,6 +461,98 @@ impl OffloadManager {
         }
     }
 
+    /// Begin an asynchronous load of elements `[start, start+len)` — the
+    /// partial-range sibling of [`Self::begin_load`]. The pipelined
+    /// optimizer step uses this to keep the next chunks' reads in flight
+    /// while the current chunk updates (Sec. 5.2.2 + 6.2); resolved
+    /// loads verify against any checksum recorded for exactly this
+    /// extent, so steady-state chunk streams keep PR 1's integrity
+    /// guarantees once each chunk has been written back at least once.
+    pub fn begin_load_elems(
+        &self,
+        buf: &DeviceBuf,
+        start: usize,
+        len: usize,
+    ) -> Result<PendingLoad> {
+        if start + len > buf.numel {
+            return Err(Error::shape(format!(
+                "begin_load_elems [{start}, {}) out of buffer of {} elements",
+                start + len,
+                buf.numel
+            )));
+        }
+        match &buf.ram {
+            Some(data) => Ok(PendingLoad {
+                dtype: buf.dtype,
+                ticket: None,
+                immediate: Some(data.slice(start, len)?),
+            }),
+            None => {
+                // Staging is charged transiently for the submission only
+                // (see `PendingLoad` for why holding it would deadlock).
+                let _staging = self.pinned.acquire();
+                let es = buf.dtype.size_in_bytes() as u64;
+                let off = buf.block.offset + start as u64 * es;
+                let nbytes = buf.dtype.bytes_for(len);
+                let ticket = self.nvme.submit_read(off, nbytes);
+                Ok(PendingLoad {
+                    dtype: buf.dtype,
+                    ticket: Some((ticket, off, nbytes)),
+                    immediate: None,
+                })
+            }
+        }
+    }
+
+    /// Accumulate `delta` into the buffer in place, returning whether any
+    /// accumulated element is non-finite.
+    ///
+    /// This fuses the overflow scan into gradient accumulation: a
+    /// non-finite term makes every later running sum non-finite (inf/NaN
+    /// propagate through addition), so OR-ing the per-call flags is
+    /// exactly equivalent to scanning the fully accumulated gradient
+    /// once at step time — without the extra full-gradient pass.
+    pub fn accumulate_f32(&self, buf: &mut DeviceBuf, delta: &[f32]) -> Result<bool> {
+        if buf.dtype != DType::F32 || delta.len() != buf.numel {
+            return Err(Error::shape("accumulate_f32 size/dtype mismatch"));
+        }
+        match &mut buf.ram {
+            Some(ram) => ram.accumulate_f32(delta),
+            None => {
+                // One pinned buffer held across every chunk bounds the
+                // transfer memory of the whole read-modify-write pass
+                // (Sec. 6.3); its size sets the chunk granularity.
+                let staging = self.pinned.acquire();
+                let chunk = (staging.capacity() / DType::F32.size_in_bytes()).max(1);
+                let es = DType::F32.size_in_bytes() as u64;
+                let mut nonfinite = false;
+                let mut start = 0usize;
+                while start < buf.numel {
+                    let len = chunk.min(buf.numel - start);
+                    let off = buf.block.offset + start as u64 * es;
+                    let nbytes = DType::F32.bytes_for(len);
+                    let ticket = self.nvme.submit_read(off, nbytes);
+                    let bytes = self
+                        .nvme
+                        .wait(ticket)?
+                        .ok_or_else(|| Error::Internal("read returned no data".into()))?;
+                    let mut bytes = self.verify_or_reread(off, nbytes, bytes)?;
+                    for (c, d) in bytes.chunks_exact_mut(4).zip(&delta[start..start + len]) {
+                        let sum = f32::from_le_bytes([c[0], c[1], c[2], c[3]]) + d;
+                        nonfinite |= !sum.is_finite();
+                        c.copy_from_slice(&sum.to_le_bytes());
+                    }
+                    self.resilience.record(off, &bytes);
+                    let ticket = self.nvme.submit_write(off, bytes);
+                    self.nvme.wait(ticket)?;
+                    start += len;
+                }
+                drop(staging);
+                Ok(nonfinite)
+            }
+        }
+    }
+
     /// Replace the buffer's entire contents.
     pub fn overwrite(&self, buf: &mut DeviceBuf, data: &FlatBuffer) -> Result<()> {
         if data.numel() != buf.numel || data.dtype() != buf.dtype {
@@ -552,6 +644,97 @@ impl OffloadManager {
             self.resilience.invalidate(buf.block.offset, buf.block.len);
         }
         self.hierarchy.free(buf.device, buf.block);
+    }
+}
+
+/// Bounded asynchronous write-behind for chunk-streamed updates.
+///
+/// The pipelined optimizer step hands each updated chunk to the NVMe
+/// engine as a *ticketed* write and keeps going; at most `window` writes
+/// are in flight at once, and submitting into a full window first waits
+/// out the oldest one (back-pressure), so a slow device throttles the
+/// pipeline instead of ballooning queued memory.
+///
+/// Unlike [`OffloadManager::overwrite_async`]'s detached writes — whose
+/// failures are deferred to the `flush` barrier — every write-behind
+/// ticket is waited in [`WriteBehind::drain`] (or during back-pressure),
+/// so write failures surface as typed errors on the step path itself:
+/// transient faults are retried inside the engine exactly as before, and
+/// a device-death error reaches the trainer's recovery loop rather than
+/// being discovered at end-of-iteration.
+pub struct WriteBehind {
+    window: usize,
+    inflight: VecDeque<Ticket>,
+}
+
+impl WriteBehind {
+    /// Write-behind with at most `window` NVMe writes in flight
+    /// (clamped to ≥ 1).
+    pub fn new(window: usize) -> WriteBehind {
+        WriteBehind { window: window.max(1), inflight: VecDeque::new() }
+    }
+
+    /// NVMe writes currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Queue an overwrite of `buf[start .. start + data.numel())`.
+    ///
+    /// RAM-resident buffers are written synchronously (there is nothing
+    /// to overlap); NVMe buffers go through the bounded async window.
+    pub fn submit_elems(
+        &mut self,
+        mgr: &OffloadManager,
+        buf: &mut DeviceBuf,
+        start: usize,
+        data: &FlatBuffer,
+    ) -> Result<()> {
+        if data.dtype() != buf.dtype || start + data.numel() > buf.numel {
+            return Err(Error::shape("write-behind size/dtype mismatch"));
+        }
+        match &mut buf.ram {
+            Some(ram) => ram.write_slice(start, data),
+            None => {
+                if self.inflight.len() >= self.window {
+                    let oldest = self.inflight.pop_front().expect("window non-empty");
+                    mgr.nvme.wait(oldest)?;
+                }
+                let es = buf.dtype.size_in_bytes() as u64;
+                let off = buf.block.offset + start as u64 * es;
+                // CRC recorded at submission: the ticketed write either
+                // lands these exact bytes or a wait surfaces the failure.
+                mgr.resilience.record(off, data.as_bytes());
+                self.inflight.push_back(mgr.nvme.submit_write(off, data.as_bytes().to_vec()));
+                Ok(())
+            }
+        }
+    }
+
+    /// Wait out every queued write, surfacing the first failure as a
+    /// typed error. All tickets are waited regardless of earlier
+    /// failures, so no request leaks into the engine's flush barrier.
+    pub fn drain(&mut self, mgr: &OffloadManager) -> Result<()> {
+        let mut first_err = None;
+        while let Some(ticket) = self.inflight.pop_front() {
+            if let Err(e) = mgr.nvme.wait(ticket) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for WriteBehind {
+    fn drop(&mut self) {
+        debug_assert!(
+            self.inflight.is_empty(),
+            "WriteBehind dropped with {} writes un-drained",
+            self.inflight.len()
+        );
     }
 }
 
@@ -758,6 +941,138 @@ mod tests {
         assert!(mgr.load_elems(&buf, 3, 2).is_err());
         assert!(mgr.overwrite_elems(&mut buf, 3, &buf_f32(&[0.0; 2])).is_err());
         assert!(mgr.overwrite(&mut buf, &buf_f32(&[0.0; 5])).is_err());
+        assert!(mgr.begin_load_elems(&buf, 3, 2).is_err());
+        let mut wb = WriteBehind::new(2);
+        assert!(wb.submit_elems(&mgr, &mut buf, 3, &buf_f32(&[0.0; 2])).is_err());
+        mgr.free(buf);
+    }
+
+    #[test]
+    fn partial_async_load_matches_sync() {
+        let node = node();
+        let mgr = node.offload_manager();
+        let vals: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        for device in [Device::cpu(), Device::nvme()] {
+            let buf = mgr.store(device, buf_f32(&vals)).unwrap();
+            let pending = mgr.begin_load_elems(&buf, 10, 20).unwrap();
+            assert_eq!(pending.is_async(), device.kind == DeviceKind::Nvme);
+            assert_eq!(pending.wait(&mgr).unwrap().to_f32_vec(), &vals[10..30]);
+            mgr.free(buf);
+        }
+    }
+
+    #[test]
+    fn steady_state_chunk_reads_are_checksum_verified() {
+        // Once a chunk has been written back (recording a sub-extent
+        // CRC), a later chunk read of that exact extent is verified —
+        // and repaired on a transient bitflip.
+        let (plan, node) = faulty_node();
+        let mgr = node.offload_manager();
+        let mut buf = mgr.store(Device::nvme(), buf_f32(&[0.0; 32])).unwrap();
+        mgr.overwrite_elems(&mut buf, 8, &buf_f32(&[4.0; 8])).unwrap();
+        plan.bitflip_next_reads(1);
+        let data = mgr.begin_load_elems(&buf, 8, 8).unwrap().wait(&mgr).unwrap();
+        assert_eq!(data.to_f32_vec(), vec![4.0; 8]);
+        assert_eq!(mgr.health().corruptions_recovered, 1);
+        mgr.free(buf);
+    }
+
+    #[test]
+    fn write_behind_bounds_inflight_and_lands_every_chunk() {
+        let node = node();
+        let mgr = node.offload_manager();
+        let mut buf = mgr.store(Device::nvme(), buf_f32(&[0.0; 64])).unwrap();
+        let mut wb = WriteBehind::new(2);
+        for k in 0..8 {
+            wb.submit_elems(&mgr, &mut buf, k * 8, &buf_f32(&[k as f32; 8])).unwrap();
+            assert!(wb.in_flight() <= 2, "window respected");
+        }
+        wb.drain(&mgr).unwrap();
+        assert_eq!(wb.in_flight(), 0);
+        let back = mgr.load(&buf).unwrap().to_f32_vec();
+        for k in 0..8 {
+            assert_eq!(&back[k * 8..(k + 1) * 8], &[k as f32; 8][..], "chunk {k}");
+        }
+        // RAM-resident buffers write synchronously through the same API.
+        let mut cbuf = mgr.store(Device::cpu(), buf_f32(&[0.0; 8])).unwrap();
+        wb.submit_elems(&mgr, &mut cbuf, 2, &buf_f32(&[7.0; 4])).unwrap();
+        assert_eq!(wb.in_flight(), 0);
+        assert_eq!(mgr.load(&cbuf).unwrap().to_f32_vec(), vec![0.0, 0.0, 7.0, 7.0, 7.0, 7.0, 0.0, 0.0]);
+        mgr.free(buf);
+        mgr.free(cbuf);
+    }
+
+    #[test]
+    fn write_behind_surfaces_device_death_as_typed_error() {
+        let (plan, node) = faulty_node();
+        let mgr = node.offload_manager();
+        let mut buf = mgr.store(Device::nvme(), buf_f32(&[0.0; 16])).unwrap();
+        let mut wb = WriteBehind::new(4);
+        plan.kill();
+        wb.submit_elems(&mgr, &mut buf, 0, &buf_f32(&[1.0; 8])).unwrap();
+        wb.submit_elems(&mgr, &mut buf, 8, &buf_f32(&[2.0; 8])).unwrap();
+        let err = wb.drain(&mgr).unwrap_err();
+        assert!(err.is_device_failure(), "got {err}");
+        assert_eq!(wb.in_flight(), 0, "drain consumes every ticket even on failure");
+        mgr.free(buf);
+    }
+
+    #[test]
+    fn write_behind_transient_faults_retry_invisibly() {
+        let (plan, node) = faulty_node();
+        let mgr = node.offload_manager();
+        let mut buf = mgr.store(Device::nvme(), buf_f32(&[0.0; 16])).unwrap();
+        let mut wb = WriteBehind::new(2);
+        plan.fail_next_writes(2); // < max_attempts
+        wb.submit_elems(&mgr, &mut buf, 0, &buf_f32(&[3.0; 16])).unwrap();
+        wb.drain(&mgr).unwrap();
+        assert_eq!(mgr.load(&buf).unwrap().to_f32_vec(), vec![3.0; 16]);
+        assert!(mgr.nvme().stats().retries >= 2);
+        mgr.free(buf);
+    }
+
+    #[test]
+    fn accumulate_in_place_fuses_overflow_scan() {
+        let node = node();
+        let mgr = node.offload_manager();
+        for device in [Device::cpu(), Device::nvme()] {
+            let mut buf = mgr.store(device, buf_f32(&[1.0; 40])).unwrap();
+            assert!(!mgr.accumulate_f32(&mut buf, &[0.5; 40]).unwrap(), "tier {device}");
+            assert_eq!(mgr.load(&buf).unwrap().to_f32_vec(), vec![1.5; 40]);
+            let mut delta = vec![0.0f32; 40];
+            delta[17] = f32::INFINITY;
+            assert!(mgr.accumulate_f32(&mut buf, &delta).unwrap(), "tier {device}");
+            mgr.free(buf);
+        }
+        // Shape/dtype errors are typed, not silent.
+        let mut small = mgr.store(Device::cpu(), buf_f32(&[0.0; 4])).unwrap();
+        assert!(mgr.accumulate_f32(&mut small, &[0.0; 5]).is_err());
+        mgr.free(small);
+    }
+
+    #[test]
+    fn nvme_accumulate_chunks_through_small_staging() {
+        // A tiny pinned pool forces the NVMe accumulate path to stream
+        // in multiple chunks through a single held staging buffer.
+        let spec = NodeMemorySpec::test_spec(2, 1 << 20, 1 << 20, 1 << 20);
+        let node = NodeResources {
+            hierarchy: Arc::new(MemoryHierarchy::new(&spec)),
+            nvme: Arc::new(NvmeEngine::with_policy(
+                Arc::new(MemBackend::new()) as Arc<dyn StorageBackend>,
+                2,
+                RetryPolicy::default(),
+            )),
+            pinned: PinnedBufferPool::new(2, 64), // 16 f32 per chunk
+            group: CommGroup::new(1),
+            resilience: Arc::new(ResilienceState::default()),
+        };
+        let mgr = node.offload_manager();
+        let vals: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let delta: Vec<f32> = (0..100).map(|i| 0.25 * i as f32).collect();
+        let mut buf = mgr.store(Device::nvme(), buf_f32(&vals)).unwrap();
+        assert!(!mgr.accumulate_f32(&mut buf, &delta).unwrap());
+        let want: Vec<f32> = vals.iter().zip(&delta).map(|(a, b)| a + b).collect();
+        assert_eq!(mgr.load(&buf).unwrap().to_f32_vec(), want);
         mgr.free(buf);
     }
 }

@@ -268,7 +268,10 @@ fn run_rank(
     let comm = node.group.communicator(rank);
     let mut engine = ZeroEngine::new(
         model.registry(),
-        spec.strategy,
+        // The spec's look-ahead drives both the module-level
+        // `hint_upcoming` window and the engine's trace-driven
+        // prefetcher.
+        spec.strategy.with_prefetch_window(spec.prefetch_window),
         node.offload_manager(),
         comm,
         spec.adam,
@@ -498,6 +501,29 @@ mod tests {
         assert!(on.stats.prefetch.issued > 0, "prefetcher should have issued loads");
         assert!(on.stats.prefetch.hits > 0, "hints should convert to hits");
         assert_eq!(off.stats.prefetch.issued, 0);
+    }
+
+    #[test]
+    fn spec_prefetch_window_reaches_engine() {
+        // A zero look-ahead must silence the prefetcher entirely even
+        // with the strategy's prefetch flag on (the engine used to
+        // hard-code a window of 3, ignoring the spec).
+        let cfg = model_cfg();
+        let strategy = Strategy::infinity_nvme().with_f32_params();
+        let spec = TrainSpec {
+            steps: 3,
+            prefetch_window: 0,
+            ..TrainSpec::test_default(cfg, strategy, 2)
+        };
+        let out = train_gpt(&spec).unwrap();
+        assert_eq!(out.stats.prefetch.issued, 0, "window 0 must issue nothing");
+        // Any nonzero window engages the prefetcher, and the width must
+        // be invisible to the numerics.
+        let narrow = train_gpt(&TrainSpec { prefetch_window: 1, ..spec }).unwrap();
+        let wide = train_gpt(&TrainSpec { prefetch_window: 6, ..spec }).unwrap();
+        assert!(narrow.stats.prefetch.issued > 0);
+        assert!(wide.stats.prefetch.issued > 0);
+        assert_eq!(narrow.losses, wide.losses, "look-ahead must not change numerics");
     }
 
     #[test]

@@ -14,7 +14,9 @@
 pub mod hierarchy;
 pub mod pinned;
 pub mod pool;
+pub mod scratch;
 
 pub use hierarchy::{MemoryHierarchy, NodeMemorySpec};
 pub use pinned::{PinnedBuffer, PinnedBufferPool};
 pub use pool::{Block, MemoryPool, PoolStats};
+pub use scratch::{ScratchPool, ScratchStats, ScratchVec};

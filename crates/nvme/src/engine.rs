@@ -48,6 +48,10 @@ pub struct IoStats {
     pub retries: u64,
     /// Requests whose retry budget was exhausted or deadline exceeded.
     pub gave_up: u64,
+    /// High-water mark of simultaneously in-flight requests — the proof
+    /// that overlap-centric callers (prefetcher, pipelined optimizer
+    /// step) actually kept the device queue busy.
+    pub in_flight_peak: u64,
 }
 
 enum Request {
@@ -80,6 +84,16 @@ struct Shared {
 }
 
 impl Shared {
+    /// Count a new submission and fold the resulting queue depth into the
+    /// in-flight high-water mark.
+    fn note_submit(&self) {
+        let now = self.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
+        let mut st = self.stats.lock();
+        if now > st.in_flight_peak {
+            st.in_flight_peak = now;
+        }
+    }
+
     /// Run `op` under `policy` with fail-fast once the device is dead,
     /// recording retry/give-up stats.
     fn execute<T>(
@@ -216,7 +230,7 @@ impl NvmeEngine {
 
     fn submit(&self, make: impl FnOnce(Ticket) -> Request) -> Ticket {
         let ticket = Ticket(self.next_ticket.fetch_add(1, Ordering::Relaxed));
-        self.shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        self.shared.note_submit();
         self.tx
             .as_ref()
             .expect("engine not shut down")
@@ -238,7 +252,7 @@ impl NvmeEngine {
     /// Submit a fire-and-forget write. No ticket: the write completes in
     /// the background and any error surfaces at the next [`Self::flush`].
     pub fn submit_write_detached(&self, offset: u64, data: Vec<u8>) {
-        self.shared.in_flight.fetch_add(1, Ordering::AcqRel);
+        self.shared.note_submit();
         self.tx
             .as_ref()
             .expect("engine not shut down")
@@ -386,6 +400,29 @@ mod tests {
             let buf = eng.wait(t).unwrap().unwrap();
             assert_eq!(buf, vec![i as u8; 8]);
         }
+    }
+
+    #[test]
+    fn in_flight_peak_tracks_queue_depth() {
+        use crate::backend::ThrottledBackend;
+        // A slow device guarantees a burst of submissions piles up before
+        // any worker completes, so the high-water mark is deterministic.
+        let backend = Arc::new(ThrottledBackend::new(
+            MemBackend::new(),
+            1e9,
+            std::time::Duration::from_millis(2),
+        ));
+        let eng = NvmeEngine::new(backend as Arc<dyn StorageBackend>, 4);
+        let tickets: Vec<Ticket> =
+            (0..4u64).map(|i| eng.submit_write(i * 32, vec![i as u8; 32])).collect();
+        for t in tickets {
+            eng.wait(t).unwrap();
+        }
+        assert!(
+            eng.stats().in_flight_peak >= 2,
+            "burst of 4 writes over a 2 ms device must overlap: {:?}",
+            eng.stats()
+        );
     }
 
     #[test]

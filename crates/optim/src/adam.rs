@@ -47,14 +47,9 @@ pub fn adam_update_chunk(
         master.len() == m.len() && m.len() == v.len() && v.len() == grad.len(),
         "adam_update_chunk length mismatch"
     );
-    let bc1 = 1.0 - cfg.beta1.powi(step as i32);
-    let bc2 = 1.0 - cfg.beta2.powi(step as i32);
+    let (bc1, bc2) = bias_corrections(cfg, step);
     let update = |((p, mm), (vv, g)): ((&mut f32, &mut f32), (&mut f32, &f32))| {
-        *mm = cfg.beta1 * *mm + (1.0 - cfg.beta1) * g;
-        *vv = cfg.beta2 * *vv + (1.0 - cfg.beta2) * g * g;
-        let mhat = *mm / bc1;
-        let vhat = *vv / bc2;
-        *p -= cfg.lr * (mhat / (vhat.sqrt() + cfg.eps) + cfg.weight_decay * *p);
+        update_one(cfg, bc1, bc2, p, mm, vv, *g);
     };
     if master.len() >= PAR_CHUNK {
         master
@@ -65,6 +60,66 @@ pub fn adam_update_chunk(
     } else {
         master.iter_mut().zip(m.iter_mut()).zip(v.iter_mut().zip(grad.iter())).for_each(update);
     }
+}
+
+/// [`adam_update_chunk`] fused with publication: the updated master value
+/// is written into `publish` in the same elementwise pass, saving the
+/// streaming optimizer step a separate copy traversal per chunk.
+pub fn adam_update_chunk_publish(
+    cfg: &AdamConfig,
+    step: u64,
+    master: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    grad: &[f32],
+    publish: &mut [f32],
+) {
+    assert!(step >= 1, "Adam step is 1-based");
+    assert!(
+        master.len() == m.len()
+            && m.len() == v.len()
+            && v.len() == grad.len()
+            && grad.len() == publish.len(),
+        "adam_update_chunk_publish length mismatch"
+    );
+    let (bc1, bc2) = bias_corrections(cfg, step);
+    #[allow(clippy::type_complexity)]
+    let update = |(((p, mm), (vv, g)), out): (((&mut f32, &mut f32), (&mut f32, &f32)), &mut f32)| {
+        update_one(cfg, bc1, bc2, p, mm, vv, *g);
+        *out = *p;
+    };
+    if master.len() >= PAR_CHUNK {
+        master
+            .par_iter_mut()
+            .zip(m.par_iter_mut())
+            .zip(v.par_iter_mut().zip(grad.par_iter()))
+            .zip(publish.par_iter_mut())
+            .for_each(update);
+    } else {
+        master
+            .iter_mut()
+            .zip(m.iter_mut())
+            .zip(v.iter_mut().zip(grad.iter()))
+            .zip(publish.iter_mut())
+            .for_each(update);
+    }
+}
+
+/// Bias-correction denominators shared by every chunk of one step.
+#[inline]
+fn bias_corrections(cfg: &AdamConfig, step: u64) -> (f32, f32) {
+    (1.0 - cfg.beta1.powi(step as i32), 1.0 - cfg.beta2.powi(step as i32))
+}
+
+/// One element of the Adam recurrence; the single source of the update
+/// math for both the plain and the publish-fused chunk kernels.
+#[inline]
+fn update_one(cfg: &AdamConfig, bc1: f32, bc2: f32, p: &mut f32, m: &mut f32, v: &mut f32, g: f32) {
+    *m = cfg.beta1 * *m + (1.0 - cfg.beta1) * g;
+    *v = cfg.beta2 * *v + (1.0 - cfg.beta2) * g * g;
+    let mhat = *m / bc1;
+    let vhat = *v / bc2;
+    *p -= cfg.lr * (mhat / (vhat.sqrt() + cfg.eps) + cfg.weight_decay * *p);
 }
 
 /// Optimizer state for one parameter shard: fp32 master copy, momentum and
@@ -206,6 +261,32 @@ mod tests {
         assert_eq!(mono.m, chunked.m);
         assert_eq!(mono.v, chunked.v);
         assert_eq!(mono.step, chunked.step);
+    }
+
+    #[test]
+    fn publish_fused_kernel_matches_plain() {
+        let cfg = AdamConfig::default();
+        for n in [100usize, PAR_CHUNK + 50] {
+            let init: Vec<f32> = (0..n).map(|i| (i % 7) as f32 * 0.3).collect();
+            let g = grads(n, 2);
+            let mut plain = AdamShard::new(&init);
+            plain.step_full(&cfg, &g);
+            let mut fused = AdamShard::new(&init);
+            let mut published = vec![0f32; n];
+            adam_update_chunk_publish(
+                &cfg,
+                1,
+                &mut fused.master,
+                &mut fused.m,
+                &mut fused.v,
+                &g,
+                &mut published,
+            );
+            assert_eq!(plain.master, fused.master, "n={n}");
+            assert_eq!(plain.m, fused.m);
+            assert_eq!(plain.v, fused.v);
+            assert_eq!(published, fused.master, "publish must mirror the new master");
+        }
     }
 
     #[test]

@@ -89,6 +89,55 @@ impl FlatBuffer {
         out
     }
 
+    /// Decode the whole buffer to f32 into `out`, reusing its capacity.
+    ///
+    /// The streaming optimizer step decodes three chunks per pipeline
+    /// stage; recycling the destination vector keeps the hot path free of
+    /// per-chunk allocations.
+    pub fn decode_f32_into(&self, out: &mut Vec<f32>) {
+        out.clear();
+        match self.dtype {
+            DType::F32 => {
+                out.extend(self.bytes.chunks_exact(4).map(|chunk| {
+                    f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]])
+                }));
+            }
+            DType::F16 => {
+                out.extend(self.bytes.chunks_exact(2).map(|chunk| {
+                    F16::from_bits(u16::from_le_bytes([chunk[0], chunk[1]])).to_f32()
+                }));
+            }
+        }
+    }
+
+    /// Add `delta` elementwise into this buffer in place (f32 only).
+    ///
+    /// Returns `true` if any accumulated element is non-finite, fusing
+    /// the gradient-overflow scan into accumulation so no separate pass
+    /// over the gradients is needed at step time.
+    pub fn accumulate_f32(&mut self, delta: &[f32]) -> Result<bool> {
+        if self.dtype != DType::F32 {
+            return Err(Error::InvalidArgument(format!(
+                "accumulate_f32 requires F32 storage, got {}",
+                self.dtype
+            )));
+        }
+        if delta.len() != self.numel() {
+            return Err(Error::shape(format!(
+                "accumulate_f32: {} values into buffer of {} elements",
+                delta.len(),
+                self.numel()
+            )));
+        }
+        let mut nonfinite = false;
+        for (chunk, d) in self.bytes.chunks_exact_mut(4).zip(delta) {
+            let sum = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) + d;
+            nonfinite |= !sum.is_finite();
+            chunk.copy_from_slice(&sum.to_le_bytes());
+        }
+        Ok(nonfinite)
+    }
+
     /// Encode f32 values into the buffer (length must match exactly).
     pub fn write_f32(&mut self, values: &[f32]) -> Result<()> {
         if values.len() != self.numel() {
@@ -179,6 +228,34 @@ mod tests {
         let vals = [1.0f32, -2.5, 3.25, 0.0];
         let b = FlatBuffer::from_f32(DType::F32, &vals);
         assert_eq!(b.to_f32_vec(), vals);
+    }
+
+    #[test]
+    fn decode_into_reuses_capacity() {
+        let b = FlatBuffer::from_f32(DType::F32, &[1.0, 2.0, 3.0]);
+        let mut out = Vec::with_capacity(16);
+        let cap_before = out.capacity();
+        b.decode_f32_into(&mut out);
+        assert_eq!(out, vec![1.0, 2.0, 3.0]);
+        assert_eq!(out.capacity(), cap_before, "no reallocation for a fitting decode");
+        // Second decode overwrites, not appends.
+        let c = FlatBuffer::from_f32(DType::F16, &[4.0, 5.0]);
+        c.decode_f32_into(&mut out);
+        assert_eq!(out, vec![4.0, 5.0]);
+    }
+
+    #[test]
+    fn accumulate_in_place_and_overflow_fusion() {
+        let mut b = FlatBuffer::from_f32(DType::F32, &[1.0, -2.0, 3.0]);
+        assert!(!b.accumulate_f32(&[0.5, 0.5, 0.5]).unwrap());
+        assert_eq!(b.to_f32_vec(), vec![1.5, -1.5, 3.5]);
+        // Overflow to inf in the *sum* is flagged even with finite inputs.
+        let mut big = FlatBuffer::from_f32(DType::F32, &[f32::MAX]);
+        assert!(big.accumulate_f32(&[f32::MAX]).unwrap());
+        // Errors: dtype and length mismatches.
+        let mut h = FlatBuffer::zeros(DType::F16, 2);
+        assert!(h.accumulate_f32(&[0.0, 0.0]).is_err());
+        assert!(b.accumulate_f32(&[0.0]).is_err());
     }
 
     #[test]

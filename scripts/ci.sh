@@ -7,3 +7,7 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+# Bench smoke: run every engine benchmark body exactly once, untimed
+# (the vendored criterion's --test mode), so bench-only regressions
+# fail CI without paying full measurement time.
+cargo bench -p zi-bench --bench engine_bench -- --test

@@ -105,6 +105,45 @@ fn chaos_soak_bitflips_are_repaired_by_checksums() {
     assert_eq!(out.losses, reference.losses, "repaired flips must be invisible");
 }
 
+/// The pipelined optimizer step (deep read pipeline + async
+/// write-behind) keeps the full resilience contract: transient faults
+/// and torn writes injected mid-step are absorbed by the retry layer,
+/// the trajectory equals the fault-free run bit for bit, and nothing
+/// gives up or degrades.
+#[test]
+fn chaos_pipelined_step_survives_transient_faults() {
+    // Deep pipeline + tiny chunks: many concurrent in-flight requests
+    // per step, so injected faults land on pipelined reads and
+    // write-behind writes, not just on parameter traffic.
+    let mut spec = soak_spec();
+    spec.strategy = spec
+        .strategy
+        .with_optimizer_chunk(64)
+        .with_step_pipeline_depth(3);
+    let reference = train_gpt(&spec).expect("fault-free run");
+
+    let profile = FaultProfile {
+        read_fault: 0.05,
+        write_fault: 0.05,
+        torn_write: 0.03,
+        latency_spike: 0.02,
+        spike: Duration::from_micros(200),
+        ..FaultProfile::quiet(0x0f_f10a_d)
+    };
+    let plan = FaultPlan::probabilistic(profile);
+    let backend = Arc::new(FaultyBackend::new(MemBackend::new(), plan.clone()));
+    let out = train_gpt_with_policy(&spec, backend, chaos_policy()).expect("chaos run");
+
+    assert!(plan.injected().total_faults() > 0, "soak must inject faults");
+    assert!(out.health.io.retries > 0, "faults must be absorbed by retries");
+    assert_eq!(out.health.io.gave_up, 0, "no request may exhaust its retry budget");
+    assert!(!out.degraded, "transient faults must not degrade the device");
+    assert_eq!(
+        out.losses, reference.losses,
+        "pipelined chaos trajectory must equal the fault-free trajectory bit for bit"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

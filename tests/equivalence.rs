@@ -82,6 +82,37 @@ fn optimizer_chunk_size_is_invisible() {
 }
 
 #[test]
+fn pipelined_step_matches_sequential_across_strategies() {
+    // The overlap-centric optimizer step (depth ≥ 2: reads of chunk k+1
+    // in flight while chunk k updates and chunk k−1 writes back) must be
+    // bit-identical to the fully sequential depth-1 loop on every
+    // Table 2 strategy — pipelining is a scheduling change, never a
+    // numeric one.
+    for strategy in Strategy::table2() {
+        let s = strategy.with_f32_params().with_optimizer_chunk(64);
+        let reference = train_gpt(&spec(s.with_step_pipeline_depth(1), 2, 2)).unwrap();
+        for depth in [2usize, 4] {
+            let out = train_gpt(&spec(s.with_step_pipeline_depth(depth), 2, 2)).unwrap();
+            assert_eq!(
+                out.losses, reference.losses,
+                "{}: depth {depth} changed the loss trajectory",
+                strategy.name
+            );
+            for (i, (a, b)) in
+                out.final_params.iter().zip(&reference.final_params).enumerate()
+            {
+                assert_eq!(
+                    a.data(),
+                    b.data(),
+                    "{}: depth {depth} changed param {i}",
+                    strategy.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn micro_batch_split_is_invisible() {
     // Same global batch of 4 as 4x1, 2x2 and 1x4 — identical trajectories.
     let reference = train_gpt(&spec(Strategy::zero_3().with_f32_params(), 1, 4)).unwrap();

@@ -63,6 +63,8 @@ impl From<String> for BenchmarkId {
 pub struct Bencher {
     /// Mean wall-clock time per iteration, filled in by `iter`.
     mean: Duration,
+    /// `--test` dry-run mode: execute the routine once, skip timing.
+    test_mode: bool,
 }
 
 /// Target accumulated measurement time per benchmark.
@@ -73,6 +75,12 @@ const PILOT_ITERS: u32 = 3;
 impl Bencher {
     /// Time `routine`, storing the mean per-iteration duration.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            // Dry run (`cargo bench -- --test`): prove the benchmark
+            // body executes without measuring it.
+            black_box(routine());
+            return;
+        }
         // Pilot phase: estimate cost to size the measured batch.
         let pilot_start = Instant::now();
         for _ in 0..PILOT_ITERS {
@@ -96,6 +104,7 @@ impl Bencher {
 pub struct BenchmarkGroup<'a> {
     name: String,
     throughput: Option<Throughput>,
+    test_mode: bool,
     _criterion: &'a mut Criterion,
 }
 
@@ -131,6 +140,10 @@ impl BenchmarkGroup<'_> {
     }
 
     fn report(&self, id: &str, mean: Duration) {
+        if self.test_mode {
+            println!("{}/{id}: ok (--test)", self.name);
+            return;
+        }
         let rate = match self.throughput {
             Some(Throughput::Bytes(b)) => {
                 let gib = b as f64 / mean.as_secs_f64() / (1u64 << 30) as f64;
@@ -151,7 +164,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        let mut b = Bencher { mean: Duration::ZERO };
+        let mut b = Bencher { mean: Duration::ZERO, test_mode: self.test_mode };
         f(&mut b);
         self.report(&id.to_string(), b.mean);
         self
@@ -168,7 +181,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
-        let mut b = Bencher { mean: Duration::ZERO };
+        let mut b = Bencher { mean: Duration::ZERO, test_mode: self.test_mode };
         f(&mut b, input);
         self.report(&id.to_string(), b.mean);
         self
@@ -180,11 +193,22 @@ impl BenchmarkGroup<'_> {
 
 /// Entry point handed to benchmark functions.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    test_mode: bool,
+}
 
 impl Criterion {
-    /// Standard construction used by `criterion_main!`.
-    pub fn configure_from_args(self) -> Self {
+    /// Standard construction used by `criterion_main!`. Recognizes the
+    /// `--test` CLI flag (CI smoke): each benchmark body runs exactly
+    /// once, untimed.
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Force dry-run mode programmatically (equivalent to `--test`).
+    pub fn with_test_mode(mut self, on: bool) -> Self {
+        self.test_mode = on;
         self
     }
 
@@ -192,7 +216,8 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         println!("== {name} ==");
-        BenchmarkGroup { name, throughput: None, _criterion: self }
+        let test_mode = self.test_mode;
+        BenchmarkGroup { name, throughput: None, test_mode, _criterion: self }
     }
 
     /// Run a standalone benchmark.
@@ -200,9 +225,11 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
+        let test_mode = self.test_mode;
         let mut group = BenchmarkGroup {
             name: "bench".to_string(),
             throughput: None,
+            test_mode,
             _criterion: self,
         };
         group.bench_function(name, f);
@@ -249,5 +276,16 @@ mod tests {
     fn harness_runs_and_reports() {
         let mut c = Criterion::default();
         sample_bench(&mut c);
+    }
+
+    #[test]
+    fn test_mode_runs_each_body_once() {
+        use std::cell::Cell;
+        let runs = Cell::new(0u32);
+        let mut c = Criterion::default().with_test_mode(true);
+        let mut group = c.benchmark_group("dry");
+        group.bench_function("counted", |b| b.iter(|| runs.set(runs.get() + 1)));
+        group.finish();
+        assert_eq!(runs.get(), 1, "--test must execute the body exactly once");
     }
 }
