@@ -36,7 +36,7 @@ fn run_world(world: usize, broadcast: bool, eng: &Arc<NvmeEngine>) {
                     Vec::new()
                 };
                 let out = comm.broadcast_bytes(0, &payload);
-                criterion::black_box(out.len());
+                criterion::black_box(out.unwrap().len());
             } else {
                 // Every rank reads its own shard in parallel, then
                 // allgathers.
@@ -44,7 +44,7 @@ fn run_world(world: usize, broadcast: bool, eng: &Arc<NvmeEngine>) {
                 let t = eng.submit_read((rank * shard) as u64, shard);
                 let mine = eng.wait(t).unwrap().unwrap();
                 let out = comm.allgather_bytes(&mine);
-                criterion::black_box(out.len());
+                criterion::black_box(out.unwrap().len());
             }
         }));
     }
@@ -91,7 +91,7 @@ fn bench_collectives(c: &mut Criterion) {
             for comm in g.communicators() {
                 handles.push(std::thread::spawn(move || {
                     let data = vec![1.0f32; n];
-                    criterion::black_box(comm.reduce_scatter_sum(&data).len());
+                    criterion::black_box(comm.reduce_scatter_sum(&data).unwrap().len());
                 }));
             }
             for h in handles {
@@ -106,7 +106,7 @@ fn bench_collectives(c: &mut Criterion) {
             for comm in g.communicators() {
                 handles.push(std::thread::spawn(move || {
                     let mut data = vec![1.0f32; n];
-                    comm.allreduce_sum(&mut data);
+                    comm.allreduce_sum(&mut data).unwrap();
                     criterion::black_box(data[0]);
                 }));
             }

@@ -4,23 +4,102 @@
 //! exchange through a shared slot table: ranks deposit their contribution,
 //! synchronize, read what they need, and synchronize again before the slots
 //! can be reused. As in MPI/NCCL, all ranks must issue the same collectives
-//! in the same order; a rank that skips a collective deadlocks the group
-//! (by design — that is a bug in the training loop).
+//! in the same order.
+//!
+//! Unlike the first iteration of this module, a rank that *stops* issuing
+//! collectives no longer deadlocks the group. Every synchronization point
+//! carries a deadline, and the group keeps a shared failed-rank latch:
+//!
+//! * a rank that dies (fault injection, storage error, panic guard) marks
+//!   the group failed, and every in-flight and subsequent collective on
+//!   every other rank returns [`zi_types::Error::RankFailed`] immediately
+//!   (coordinated abort);
+//! * a rank whose peers simply stop arriving times out after the
+//!   configured deadline, returns
+//!   [`zi_types::Error::CollectiveTimeout`], and marks *itself* failed so
+//!   the rest of the group unwinds too.
+//!
+//! Once failed, a group is permanently broken — recovery means building a
+//! new group (see the elastic trainer in `zi-core`), exactly as a real
+//! NCCL communicator is torn down and re-initialized after a fault.
 
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
-use zi_types::{Rank, WorldSize};
+use parking_lot::{Condvar, Mutex};
+use zi_types::{Error, Rank, Result, WorldSize};
 
+use crate::fault::{CommFaultPlan, CommVerdict};
 use crate::partition::partition_range;
 use crate::traffic::TrafficStats;
 
+/// Default per-synchronization deadline. Generous: fault-free training
+/// never waits anywhere near this long at a barrier, while a wedged peer
+/// still surfaces as a typed error instead of an infinite hang.
+pub const DEFAULT_COLLECTIVE_DEADLINE: Duration = Duration::from_secs(30);
+
+/// Configuration for a [`CommGroup`]: the per-synchronization deadline
+/// and the fault-injection plan consulted at every collective entry.
+#[derive(Clone)]
+pub struct CommConfig {
+    /// Deadline for each barrier crossing inside a collective (a
+    /// collective crosses at most two, so a caller waits at most twice
+    /// this before a wedged peer surfaces as `CollectiveTimeout`).
+    pub deadline: Duration,
+    /// Fault plan; the default injects nothing.
+    pub faults: CommFaultPlan,
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        CommConfig { deadline: DEFAULT_COLLECTIVE_DEADLINE, faults: CommFaultPlan::new() }
+    }
+}
+
+/// Deadline-aware generation barrier with a failed-rank latch.
+struct SyncState {
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+struct BarrierState {
+    /// Incremented each time all ranks meet; waiters key on it.
+    generation: u64,
+    /// Ranks arrived at the current generation.
+    arrived: usize,
+    /// First rank to die/abort/time out. Latched forever: once set, the
+    /// group is broken and every sync returns `RankFailed`.
+    failed: Option<Rank>,
+}
+
 struct Shared {
     world: WorldSize,
-    barrier: Barrier,
+    sync: SyncState,
     byte_slots: Mutex<Vec<Vec<u8>>>,
     f32_slots: Mutex<Vec<Vec<f32>>>,
     traffic: TrafficStats,
+    deadline: Duration,
+    faults: CommFaultPlan,
+}
+
+impl Shared {
+    /// Latch `rank` as failed (first failure wins) and wake all waiters
+    /// so they observe it.
+    fn mark_failed(&self, rank: Rank) {
+        let mut st = self.sync.state.lock();
+        if st.failed.is_none() {
+            st.failed = Some(rank);
+        }
+        self.sync.cv.notify_all();
+    }
+
+    fn failed(&self) -> Option<Rank> {
+        self.sync.state.lock().failed
+    }
+}
+
+fn rank_failed(rank: Rank, context: &str) -> Error {
+    Error::RankFailed { rank, context: context.into() }
 }
 
 /// A communicator group spanning `world` ranks.
@@ -30,16 +109,31 @@ pub struct CommGroup {
 }
 
 impl CommGroup {
-    /// Create a group for `world` ranks.
+    /// Create a group for `world` ranks with the default configuration
+    /// (30 s sync deadline, no fault injection).
     pub fn new(world: WorldSize) -> Self {
+        Self::with_config(world, CommConfig::default())
+    }
+
+    /// Create a group with an explicit deadline and fault plan.
+    pub fn with_config(world: WorldSize, config: CommConfig) -> Self {
         assert!(world > 0, "world size must be positive");
         CommGroup {
             shared: Arc::new(Shared {
                 world,
-                barrier: Barrier::new(world),
+                sync: SyncState {
+                    state: Mutex::new(BarrierState {
+                        generation: 0,
+                        arrived: 0,
+                        failed: None,
+                    }),
+                    cv: Condvar::new(),
+                },
                 byte_slots: Mutex::new(vec![Vec::new(); world]),
                 f32_slots: Mutex::new(vec![Vec::new(); world]),
                 traffic: TrafficStats::default(),
+                deadline: config.deadline,
+                faults: config.faults,
             }),
         }
     }
@@ -65,6 +159,20 @@ impl CommGroup {
     pub fn world_size(&self) -> WorldSize {
         self.shared.world
     }
+
+    /// The rank whose failure broke this group, if any.
+    pub fn failed_rank(&self) -> Option<Rank> {
+        self.shared.failed()
+    }
+
+    /// Mark `rank` as failed on behalf of its thread (coordinated abort
+    /// from outside the collectives — e.g. the trainer's panic guard, or
+    /// a rank bailing on a storage error mid-step). Peers blocked in a
+    /// collective wake immediately with `RankFailed`.
+    pub fn abort_rank(&self, rank: Rank) {
+        assert!(rank < self.shared.world, "rank {rank} out of world {}", self.shared.world);
+        self.shared.mark_failed(rank);
+    }
 }
 
 /// Per-rank endpoint of a [`CommGroup`].
@@ -86,111 +194,235 @@ impl Communicator {
         self.shared.world
     }
 
+    /// Mark this rank failed so every peer unwinds (coordinated abort).
+    /// Idempotent; an already-failed group keeps its first failed rank.
+    pub fn abort(&self) {
+        self.shared.mark_failed(self.rank);
+    }
+
+    /// Consult the fault plan and the failed latch before entering a
+    /// collective. Returns the corruption salt if the plan wants this
+    /// rank's contribution corrupted.
+    fn admit(&self, context: &'static str) -> Result<Option<u64>> {
+        if let Some(r) = self.shared.failed() {
+            return Err(rank_failed(r, context));
+        }
+        let (verdict, delay) = self.shared.faults.judge(self.rank);
+        if let Some(d) = delay {
+            std::thread::sleep(d);
+        }
+        match verdict {
+            CommVerdict::Proceed => Ok(None),
+            CommVerdict::Corrupt { salt } => Ok(Some(salt)),
+            CommVerdict::Die => {
+                self.shared.mark_failed(self.rank);
+                Err(rank_failed(self.rank, context))
+            }
+        }
+    }
+
+    /// One deadline-aware barrier crossing. On success all `world` ranks
+    /// passed together. On failure the group is (now) broken: either a
+    /// peer was already latched failed, or this rank timed out waiting
+    /// and latched itself.
+    fn sync(&self, context: &'static str) -> Result<()> {
+        let sh = &self.shared;
+        let mut st = sh.sync.state.lock();
+        if let Some(r) = st.failed {
+            return Err(rank_failed(r, context));
+        }
+        st.arrived += 1;
+        if st.arrived == sh.world {
+            st.arrived = 0;
+            st.generation = st.generation.wrapping_add(1);
+            sh.sync.cv.notify_all();
+            return Ok(());
+        }
+        let gen = st.generation;
+        let deadline = Instant::now() + sh.deadline;
+        loop {
+            if st.generation != gen {
+                // The barrier completed; a failure latched *after* it does
+                // not retract data already exchanged — the next collective
+                // will surface it.
+                return Ok(());
+            }
+            if let Some(r) = st.failed {
+                return Err(rank_failed(r, context));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                // Coordinated abort: latch ourselves failed so the peers
+                // that *are* still alive unwind instead of waiting out
+                // their own deadlines one collective at a time.
+                if st.failed.is_none() {
+                    st.failed = Some(self.rank);
+                }
+                sh.sync.cv.notify_all();
+                return Err(Error::CollectiveTimeout {
+                    context: context.into(),
+                    deadline: sh.deadline,
+                });
+            }
+            sh.sync.cv.wait_for(&mut st, deadline - now);
+        }
+    }
+
     /// Synchronize all ranks.
-    pub fn barrier(&self) {
-        self.shared.barrier.wait();
+    pub fn barrier(&self) -> Result<()> {
+        self.admit("barrier")?;
+        self.sync("barrier")
     }
 
     /// Broadcast `data` from `root` to every rank. Non-root callers pass
     /// any slice (ignored) and receive the root's bytes.
-    pub fn broadcast_bytes(&self, root: Rank, data: &[u8]) -> Vec<u8> {
+    pub fn broadcast_bytes(&self, root: Rank, data: &[u8]) -> Result<Vec<u8>> {
         assert!(root < self.shared.world, "broadcast root out of range");
+        let corrupt = self.admit("broadcast")?;
         if self.rank == root {
-            self.shared.byte_slots.lock()[root] = data.to_vec();
+            let mut payload = data.to_vec();
+            if let Some(salt) = corrupt {
+                corrupt_bytes(&mut payload, salt);
+            }
+            self.shared.byte_slots.lock()[root] = payload;
         }
-        self.barrier();
+        self.sync("broadcast")?;
         let out = self.shared.byte_slots.lock()[root].clone();
-        self.barrier();
+        self.sync("broadcast")?;
         if self.rank == root {
             // Logical ring broadcast: root's payload traverses w-1 links.
             let bytes = out.len() as u64 * (self.shared.world as u64 - 1);
             self.shared.traffic.record(&self.shared.traffic.broadcast_bytes, bytes);
         }
-        out
+        Ok(out)
     }
 
     /// Gather every rank's `shard` and concatenate in rank order.
-    pub fn allgather_bytes(&self, shard: &[u8]) -> Vec<u8> {
-        self.shared.byte_slots.lock()[self.rank] = shard.to_vec();
-        self.barrier();
-        let slots = self.shared.byte_slots.lock();
-        let total: usize = slots.iter().map(|s| s.len()).sum();
-        let mut out = Vec::with_capacity(total);
-        for s in slots.iter() {
-            out.extend_from_slice(s);
+    pub fn allgather_bytes(&self, shard: &[u8]) -> Result<Vec<u8>> {
+        let corrupt = self.admit("allgather")?;
+        {
+            let mut mine = shard.to_vec();
+            if let Some(salt) = corrupt {
+                corrupt_bytes(&mut mine, salt);
+            }
+            self.shared.byte_slots.lock()[self.rank] = mine;
         }
-        drop(slots);
-        self.barrier();
+        self.sync("allgather")?;
+        let out = {
+            let slots = self.shared.byte_slots.lock();
+            let total: usize = slots.iter().map(|s| s.len()).sum();
+            let mut out = Vec::with_capacity(total);
+            for s in slots.iter() {
+                out.extend_from_slice(s);
+            }
+            out
+        };
+        self.sync("allgather")?;
         // Each rank receives (w-1) shards; count this rank's received bytes.
         let bytes = (out.len() - shard.len()) as u64;
         self.shared.traffic.record(&self.shared.traffic.allgather_bytes, bytes);
-        out
+        Ok(out)
     }
 
     /// Element-wise sum of every rank's equal-length `data`, returning this
     /// rank's partition of the reduced vector (per [`partition_range`]).
-    pub fn reduce_scatter_sum(&self, data: &[f32]) -> Vec<f32> {
-        self.shared.f32_slots.lock()[self.rank] = data.to_vec();
-        self.barrier();
-        let slots = self.shared.f32_slots.lock();
-        let len = slots[0].len();
-        assert!(
-            slots.iter().all(|s| s.len() == len),
-            "reduce_scatter_sum requires equal contribution lengths"
-        );
-        let range = partition_range(len, self.shared.world, self.rank);
-        let mut out = vec![0f32; range.len()];
-        for s in slots.iter() {
-            for (o, v) in out.iter_mut().zip(&s[range.clone()]) {
-                *o += v;
+    pub fn reduce_scatter_sum(&self, data: &[f32]) -> Result<Vec<f32>> {
+        let corrupt = self.admit("reduce_scatter")?;
+        {
+            let mut mine = data.to_vec();
+            if let Some(salt) = corrupt {
+                corrupt_f32s(&mut mine, salt);
             }
+            self.shared.f32_slots.lock()[self.rank] = mine;
         }
-        drop(slots);
-        self.barrier();
+        self.sync("reduce_scatter")?;
+        let out = {
+            let slots = self.shared.f32_slots.lock();
+            let len = slots[0].len();
+            assert!(
+                slots.iter().all(|s| s.len() == len),
+                "reduce_scatter_sum requires equal contribution lengths"
+            );
+            let range = partition_range(len, self.shared.world, self.rank);
+            let mut out = vec![0f32; range.len()];
+            for s in slots.iter() {
+                for (o, v) in out.iter_mut().zip(&s[range.clone()]) {
+                    *o += v;
+                }
+            }
+            out
+        };
+        self.sync("reduce_scatter")?;
         let bytes = (data.len() * 4) as u64 * (self.shared.world as u64 - 1)
             / self.shared.world as u64;
         self.shared.traffic.record(&self.shared.traffic.reduce_scatter_bytes, bytes);
-        out
+        Ok(out)
     }
 
     /// Element-wise sum across ranks, leaving the full reduced vector in
-    /// `data` on every rank.
-    pub fn allreduce_sum(&self, data: &mut [f32]) {
-        self.shared.f32_slots.lock()[self.rank] = data.to_vec();
-        self.barrier();
+    /// `data` on every rank. On error `data` is left unchanged.
+    pub fn allreduce_sum(&self, data: &mut [f32]) -> Result<()> {
+        let corrupt = self.admit("allreduce")?;
         {
+            let mut mine = data.to_vec();
+            if let Some(salt) = corrupt {
+                corrupt_f32s(&mut mine, salt);
+            }
+            self.shared.f32_slots.lock()[self.rank] = mine;
+        }
+        self.sync("allreduce")?;
+        let reduced = {
             let slots = self.shared.f32_slots.lock();
             let len = slots[0].len();
             assert!(
                 slots.iter().all(|s| s.len() == len),
                 "allreduce_sum requires equal contribution lengths"
             );
-            for v in data.iter_mut() {
-                *v = 0.0;
-            }
+            let mut out = vec![0f32; len];
             for s in slots.iter() {
-                for (o, v) in data.iter_mut().zip(s.iter()) {
+                for (o, v) in out.iter_mut().zip(s.iter()) {
                     *o += v;
                 }
             }
-        }
-        self.barrier();
+            out
+        };
+        self.sync("allreduce")?;
+        data.copy_from_slice(&reduced);
         let bytes =
             2 * (data.len() * 4) as u64 * (self.shared.world as u64 - 1) / self.shared.world as u64;
         self.shared.traffic.record(&self.shared.traffic.allreduce_bytes, bytes);
+        Ok(())
     }
 
     /// Sum a scalar across ranks (e.g. for loss averaging).
-    pub fn sum_scalar(&self, v: f32) -> f32 {
+    pub fn sum_scalar(&self, v: f32) -> Result<f32> {
         let mut buf = [v];
-        self.allreduce_sum(&mut buf);
-        buf[0]
+        self.allreduce_sum(&mut buf)?;
+        Ok(buf[0])
     }
 
     /// Shared traffic counters.
     pub fn traffic_total_bytes(&self) -> u64 {
         self.shared.traffic.total_bytes()
     }
+}
+
+/// Flip one bit of `data` chosen from `salt` (injected silent corruption).
+fn corrupt_bytes(data: &mut [u8], salt: u64) {
+    if data.is_empty() {
+        return;
+    }
+    let byte = (salt as usize / 8) % data.len();
+    data[byte] ^= 1 << (salt % 8);
+}
+
+/// Flip one mantissa/sign bit of one element of `data`.
+fn corrupt_f32s(data: &mut [f32], salt: u64) {
+    if data.is_empty() {
+        return;
+    }
+    let i = (salt as usize / 32) % data.len();
+    data[i] = f32::from_bits(data[i].to_bits() ^ (1 << (salt % 32)));
 }
 
 // Communicator handles move to their rank thread.
@@ -202,12 +434,12 @@ mod tests {
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::thread;
 
-    /// Run `f(rank, comm)` on one thread per rank and collect results.
-    fn run_ranks<T: Send + 'static>(
-        world: usize,
+    /// Run `f(rank, comm)` on one thread per rank of `group` and collect
+    /// results in rank order.
+    fn run_group<T: Send + 'static>(
+        group: &CommGroup,
         f: impl Fn(Rank, Communicator) -> T + Send + Sync + 'static,
     ) -> Vec<T> {
-        let group = CommGroup::new(world);
         let f = Arc::new(f);
         let mut handles = Vec::new();
         for (rank, comm) in group.communicators().into_iter().enumerate() {
@@ -217,11 +449,19 @@ mod tests {
         handles.into_iter().map(|h| h.join().expect("rank thread")).collect()
     }
 
+    /// Run `f(rank, comm)` on one thread per rank of a default group.
+    fn run_ranks<T: Send + 'static>(
+        world: usize,
+        f: impl Fn(Rank, Communicator) -> T + Send + Sync + 'static,
+    ) -> Vec<T> {
+        run_group(&CommGroup::new(world), f)
+    }
+
     #[test]
     fn broadcast_delivers_root_payload() {
         let results = run_ranks(4, |rank, comm| {
             let payload = if rank == 2 { vec![9u8, 8, 7] } else { vec![] };
-            comm.broadcast_bytes(2, &payload)
+            comm.broadcast_bytes(2, &payload).unwrap()
         });
         for r in results {
             assert_eq!(r, vec![9, 8, 7]);
@@ -232,7 +472,7 @@ mod tests {
     fn allgather_concatenates_in_rank_order() {
         let results = run_ranks(3, |rank, comm| {
             let shard = vec![rank as u8; 2];
-            comm.allgather_bytes(&shard)
+            comm.allgather_bytes(&shard).unwrap()
         });
         for r in results {
             assert_eq!(r, vec![0, 0, 1, 1, 2, 2]);
@@ -245,7 +485,7 @@ mod tests {
         let results = run_ranks(world, move |rank, comm| {
             // Each rank contributes [rank, rank, ...] of length 8.
             let data = vec![rank as f32; 8];
-            (rank, comm.reduce_scatter_sum(&data))
+            (rank, comm.reduce_scatter_sum(&data).unwrap())
         });
         // Sum over ranks of constant vectors = 0+1+2+3 = 6 everywhere;
         // each rank gets 2 elements.
@@ -259,10 +499,10 @@ mod tests {
     fn allreduce_gives_identical_full_vectors() {
         let results = run_ranks(3, |rank, comm| {
             let mut data: Vec<f32> = (0..5).map(|i| (rank * 10 + i) as f32).collect();
-            comm.allreduce_sum(&mut data);
+            comm.allreduce_sum(&mut data).unwrap();
             data
         });
-        let expect: Vec<f32> = (0..5).map(|i| (0 + 10 + 20 + 3 * i) as f32).collect();
+        let expect: Vec<f32> = (0..5).map(|i| (10 + 20 + 3 * i) as f32).collect();
         for r in results {
             assert_eq!(r, expect);
         }
@@ -270,7 +510,7 @@ mod tests {
 
     #[test]
     fn sum_scalar_across_ranks() {
-        let results = run_ranks(5, |rank, comm| comm.sum_scalar(rank as f32));
+        let results = run_ranks(5, |rank, comm| comm.sum_scalar(rank as f32).unwrap());
         for r in results {
             assert_eq!(r, 10.0);
         }
@@ -282,9 +522,9 @@ mod tests {
             let mut out = Vec::new();
             for round in 0..10u8 {
                 let shard = vec![rank as u8 ^ round; 1];
-                out.push(comm.allgather_bytes(&shard));
+                out.push(comm.allgather_bytes(&shard).unwrap());
                 let mut v = vec![1.0f32];
-                comm.allreduce_sum(&mut v);
+                comm.allreduce_sum(&mut v).unwrap();
                 assert_eq!(v[0], 4.0);
             }
             out
@@ -300,10 +540,10 @@ mod tests {
     #[test]
     fn world_of_one_is_trivial() {
         let results = run_ranks(1, |_, comm| {
-            let g = comm.allgather_bytes(&[5, 6]);
-            let rs = comm.reduce_scatter_sum(&[1.0, 2.0]);
+            let g = comm.allgather_bytes(&[5, 6]).unwrap();
+            let rs = comm.reduce_scatter_sum(&[1.0, 2.0]).unwrap();
             let mut ar = vec![3.0];
-            comm.allreduce_sum(&mut ar);
+            comm.allreduce_sum(&mut ar).unwrap();
             (g, rs, ar)
         });
         assert_eq!(results[0], (vec![5, 6], vec![1.0, 2.0], vec![3.0]));
@@ -316,7 +556,7 @@ mod tests {
         let mut handles = Vec::new();
         for comm in comms {
             handles.push(thread::spawn(move || {
-                comm.allgather_bytes(&[0u8; 100]);
+                comm.allgather_bytes(&[0u8; 100]).unwrap();
             }));
         }
         for h in handles {
@@ -336,9 +576,153 @@ mod tests {
         let c2 = Arc::clone(&counter);
         let results = run_ranks(8, move |_, comm| {
             c2.fetch_add(1, Ordering::SeqCst);
-            comm.barrier();
+            comm.barrier().unwrap();
             c2.load(Ordering::SeqCst)
         });
         assert!(results.iter().all(|&v| v == 8));
+    }
+
+    #[test]
+    fn scripted_rank_kill_surfaces_on_every_rank() {
+        // Kill rank 1 at its 3rd collective: every rank — victim and
+        // survivors alike — gets a typed RankFailed{1}, promptly, with a
+        // deadline far longer than the test is allowed to run.
+        let plan = CommFaultPlan::new();
+        plan.kill_rank_after_ops(1, 2);
+        let group = CommGroup::with_config(
+            3,
+            CommConfig { deadline: Duration::from_secs(30), faults: plan },
+        );
+        assert_eq!(group.failed_rank(), None);
+        let start = Instant::now();
+        let results = run_group(&group, |_, comm| {
+            for i in 0..10 {
+                let mut v = vec![1.0f32; 4];
+                if let Err(e) = comm.allreduce_sum(&mut v) {
+                    return (i, e);
+                }
+            }
+            panic!("the kill must surface within 10 collectives");
+        });
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "failure must propagate without waiting out the deadline"
+        );
+        for (_, e) in &results {
+            match e {
+                Error::RankFailed { rank: 1, .. } => {}
+                other => panic!("expected RankFailed{{1}}, got {other}"),
+            }
+        }
+        // The victim dies on entry to its 3rd collective; survivors
+        // discover the failure at the same collective's barrier.
+        assert_eq!(results[1].0, 2, "victim dies at its 3rd collective");
+        assert_eq!(group.failed_rank(), Some(1));
+    }
+
+    #[test]
+    fn broken_group_fails_fast_forever() {
+        let group = CommGroup::new(2);
+        group.abort_rank(0);
+        let results = run_group(&group, |_, comm| {
+            let a = comm.barrier().unwrap_err();
+            let b = comm.allgather_bytes(&[1]).unwrap_err();
+            let c = comm.sum_scalar(1.0).unwrap_err();
+            [a, b, c]
+        });
+        for errs in results {
+            for e in errs {
+                assert!(matches!(e, Error::RankFailed { rank: 0, .. }), "got {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn deserted_rank_times_out_and_latches_failure() {
+        // Rank 1 never shows up: rank 0 must time out with a typed error
+        // (not hang) and latch itself failed for coordinated abort.
+        let deadline = Duration::from_millis(100);
+        let group = CommGroup::with_config(
+            2,
+            CommConfig { deadline, faults: CommFaultPlan::new() },
+        );
+        let comm = group.communicator(0);
+        let start = Instant::now();
+        let err = comm.barrier().unwrap_err();
+        assert!(start.elapsed() >= deadline);
+        assert!(
+            matches!(err, Error::CollectiveTimeout { .. }),
+            "expected CollectiveTimeout, got {err}"
+        );
+        assert_eq!(group.failed_rank(), Some(0), "timed-out rank latches itself failed");
+        // The deserter, were it to arrive now, fails fast.
+        let late = group.communicator(1);
+        assert!(matches!(late.barrier().unwrap_err(), Error::RankFailed { rank: 0, .. }));
+    }
+
+    #[test]
+    fn abort_wakes_blocked_peers() {
+        // Rank 0 blocks in a barrier; rank 1 aborts without ever entering
+        // a collective. Rank 0 must wake with RankFailed{1} well before
+        // its deadline.
+        let group = CommGroup::with_config(
+            2,
+            CommConfig { deadline: Duration::from_secs(30), faults: CommFaultPlan::new() },
+        );
+        let c0 = group.communicator(0);
+        let c1 = group.communicator(1);
+        let h = thread::spawn(move || c0.barrier());
+        thread::sleep(Duration::from_millis(20));
+        c1.abort();
+        let err = h.join().unwrap().unwrap_err();
+        assert!(matches!(err, Error::RankFailed { rank: 1, .. }), "got {err}");
+    }
+
+    #[test]
+    fn scripted_delay_is_benign() {
+        let plan = CommFaultPlan::new();
+        plan.delay_next_ops(0, 1, Duration::from_millis(20));
+        let group = CommGroup::with_config(
+            2,
+            CommConfig { deadline: Duration::from_secs(30), faults: plan.clone() },
+        );
+        let start = Instant::now();
+        let results = run_group(&group, |rank, comm| comm.sum_scalar(rank as f32).unwrap());
+        assert_eq!(results, vec![1.0, 1.0]);
+        assert!(start.elapsed() >= Duration::from_millis(15));
+        assert_eq!(plan.injected().delays, 1);
+    }
+
+    #[test]
+    fn scripted_corruption_changes_the_payload() {
+        // A corrupted contribution silently changes the collective's
+        // result on every rank — the taxonomy's "silent" class, which
+        // end-to-end checks (loss-scale overflow skips, checkpoint CRCs)
+        // must catch downstream. Uses allgather so the flipped bit cannot
+        // be absorbed by float rounding.
+        let run = |corrupt: bool| {
+            let plan = CommFaultPlan::new();
+            if corrupt {
+                plan.corrupt_next_ops(0, 1);
+            }
+            let group = CommGroup::with_config(
+                2,
+                CommConfig { deadline: Duration::from_secs(30), faults: plan.clone() },
+            );
+            let out = run_group(&group, |_, comm| comm.allgather_bytes(&[0u8; 16]).unwrap());
+            (out, plan.injected().corruptions)
+        };
+        let (clean, n0) = run(false);
+        let (dirty, n1) = run(true);
+        assert_eq!(n0, 0);
+        assert_eq!(n1, 1);
+        assert_eq!(clean[0], clean[1], "allgather output identical across ranks");
+        assert_eq!(dirty[0], dirty[1], "corruption is consistent across ranks");
+        assert_ne!(clean, dirty, "a flipped contribution bit must change the gather");
+        assert_eq!(
+            dirty[0].iter().filter(|&&b| b != 0).count(),
+            1,
+            "exactly one bit flipped in exactly one byte"
+        );
     }
 }

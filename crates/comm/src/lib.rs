@@ -12,10 +12,12 @@
 //! benches can contrast the broadcast-based fetch of ZeRO-Offload with the
 //! bandwidth-centric allgather fetch of ZeRO-Infinity (Fig. 6c).
 
+pub mod fault;
 pub mod group;
 pub mod partition;
 pub mod traffic;
 
-pub use group::{CommGroup, Communicator};
+pub use fault::{CommFaultPlan, CommFaultProfile, CommInjectedStats, CommVerdict};
+pub use group::{CommConfig, CommGroup, Communicator, DEFAULT_COLLECTIVE_DEADLINE};
 pub use partition::{partition_len, partition_range, Partitioner};
 pub use traffic::TrafficStats;

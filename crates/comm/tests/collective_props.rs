@@ -37,12 +37,12 @@ proptest! {
     ) {
         let lens: Vec<usize> = (0..world).map(|r| lens[r % lens.len()]).collect();
         let expect: Vec<u8> = (0..world)
-            .flat_map(|r| std::iter::repeat(r as u8).take(lens[r]))
+            .flat_map(|r| std::iter::repeat_n(r as u8, lens[r]))
             .collect();
         let lens2 = lens.clone();
         let results = run_ranks(world, move |rank, comm| {
             let shard = vec![rank as u8; lens2[rank]];
-            comm.allgather_bytes(&shard)
+            comm.allgather_bytes(&shard).unwrap()
         });
         for r in results {
             prop_assert_eq!(&r, &expect);
@@ -70,7 +70,7 @@ proptest! {
             }
         }
         let results = run_ranks(world, move |rank, comm| {
-            (rank, comm.reduce_scatter_sum(&contrib(rank)))
+            (rank, comm.reduce_scatter_sum(&contrib(rank)).unwrap())
         });
         for (rank, part) in results {
             let range = partition_range(len, world, rank);
@@ -96,7 +96,7 @@ proptest! {
         }
         let results = run_ranks(world, move |rank, comm| {
             let mut data = contrib(rank);
-            comm.allreduce_sum(&mut data);
+            comm.allreduce_sum(&mut data).unwrap();
             data
         });
         for r in results {
@@ -115,7 +115,7 @@ proptest! {
         let expect = payload.clone();
         let results = run_ranks(world, move |rank, comm| {
             let mine = if rank == root { payload.clone() } else { vec![0xEE; 3] };
-            comm.broadcast_bytes(root, &mine)
+            comm.broadcast_bytes(root, &mine).unwrap()
         });
         for r in results {
             prop_assert_eq!(&r, &expect);
@@ -134,16 +134,16 @@ proptest! {
         };
         let results = run_ranks(world, move |rank, comm| {
             // Path A: reduce-scatter then gather the shards back.
-            let shard = comm.reduce_scatter_sum(&contrib(rank));
+            let shard = comm.reduce_scatter_sum(&contrib(rank)).unwrap();
             let bytes: Vec<u8> = shard.iter().flat_map(|v| v.to_le_bytes()).collect();
-            let gathered = comm.allgather_bytes(&bytes);
+            let gathered = comm.allgather_bytes(&bytes).unwrap();
             let a: Vec<f32> = gathered
                 .chunks_exact(4)
                 .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
                 .collect();
             // Path B: allreduce.
             let mut b = contrib(rank);
-            comm.allreduce_sum(&mut b);
+            comm.allreduce_sum(&mut b).unwrap();
             (a, b)
         });
         for (a, b) in results {

@@ -248,6 +248,11 @@ impl ZeroEngine {
         self.comm.rank()
     }
 
+    /// Data-parallel world size of this engine's communicator group.
+    pub fn world_size(&self) -> usize {
+        self.comm.world_size()
+    }
+
     /// Activity counters (prefetch stats folded in).
     pub fn stats(&self) -> EngineStats {
         EngineStats { prefetch: self.prefetcher.stats(), ..self.stats }
@@ -278,7 +283,7 @@ impl ZeroEngine {
                 } else {
                     self.mgr.load(buf)?
                 };
-                let gathered = self.comm.allgather_bytes(shard.as_bytes());
+                let gathered = self.comm.allgather_bytes(shard.as_bytes())?;
                 self.stats.allgathers += 1;
                 self.stats.gathered_elems += (st.shard_len * self.part.world) as u64;
                 let fb = FlatBuffer::from_bytes(self.strategy.param_dtype, gathered)?;
@@ -358,7 +363,7 @@ impl ZeroEngine {
         // one flag sweep and one collective — no gradient re-load.
         let local_overflow =
             if self.shards.iter().any(|st| st.grad_nonfinite) { 1.0f32 } else { 0.0 };
-        let any_overflow = self.comm.sum_scalar(local_overflow) > 0.0;
+        let any_overflow = self.comm.sum_scalar(local_overflow)? > 0.0;
         if any_overflow {
             self.clear_grads();
             self.scaler.update(true);
@@ -451,7 +456,7 @@ impl ZeroEngine {
                     // ZeRO-1/2: gather every rank's updated slice back
                     // into the full replica.
                     let mine = FlatBuffer::from_f32(dtype, new_master);
-                    let gathered = self.comm.allgather_bytes(mine.as_bytes());
+                    let gathered = self.comm.allgather_bytes(mine.as_bytes())?;
                     let fb = FlatBuffer::from_bytes(dtype, gathered)?;
                     let mut vals = fb.to_f32_vec();
                     vals.truncate(numel);
@@ -509,6 +514,7 @@ impl ZeroEngine {
         for st in &self.shards {
             out.push(crate::checkpoint::ParamRecord {
                 step: st.optim.step,
+                numel: st.numel as u64,
                 master: self.mgr.load(&st.optim.master)?.to_f32_vec(),
                 m: self.mgr.load(&st.optim.m)?.to_f32_vec(),
                 v: self.mgr.load(&st.optim.v)?.to_f32_vec(),
@@ -534,6 +540,12 @@ impl ZeroEngine {
                     "param {idx}: checkpoint shard of {} elements, engine expects {}",
                     rec.master.len(),
                     st.optim.master.numel()
+                )));
+            }
+            if rec.numel != st.numel as u64 {
+                return Err(Error::InvalidArgument(format!(
+                    "param {idx}: checkpoint numel {}, engine expects {}",
+                    rec.numel, st.numel
                 )));
             }
         }
@@ -619,11 +631,11 @@ impl ParamStore for ZeroEngine {
         if self.strategy.partition_grads {
             let mut padded = grad.data().to_vec();
             padded.resize(self.part.padded_len(st.numel), 0.0);
-            let shard = self.comm.reduce_scatter_sum(&padded);
+            let shard = self.comm.reduce_scatter_sum(&padded)?;
             self.accumulate_grad(id, &shard, true)
         } else {
             let mut full = grad.data().to_vec();
-            self.comm.allreduce_sum(&mut full);
+            self.comm.allreduce_sum(&mut full)?;
             self.accumulate_grad(id, &full, false)
         }
     }

@@ -64,4 +64,8 @@ pub use mp::{train_gpt_2d, MpAllReduce, Spec2D};
 pub use offload::{DeviceBuf, NodeResources, OffloadHealth, OffloadManager, PendingLoad, WriteBehind};
 pub use pp::{train_gpt_pipeline, PipelineSpec};
 pub use tiling::TiledLinear;
-pub use trainer::{train_gpt, train_gpt_on, train_gpt_with_policy, TrainOutcome, TrainSpec};
+pub use checkpoint::{reshard_checkpoint_blobs, CHECKPOINT_FORMAT};
+pub use trainer::{
+    decode_checkpoint_payload, encode_checkpoint_payload, train_gpt, train_gpt_env, train_gpt_on,
+    train_gpt_with_policy, ElasticEvent, TrainEnv, TrainOutcome, TrainSpec,
+};

@@ -30,8 +30,7 @@ pub struct MpAllReduce(pub Communicator);
 
 impl TensorReduce for MpAllReduce {
     fn allreduce_tensor(&self, t: &mut Tensor) -> Result<()> {
-        self.0.allreduce_sum(t.data_mut());
-        Ok(())
+        self.0.allreduce_sum(t.data_mut())
     }
 }
 

@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use zi_comm::CommGroup;
+use zi_comm::{CommConfig, CommGroup};
 use zi_memory::{Block, MemoryHierarchy, NodeMemorySpec, PinnedBufferPool};
 use zi_nvme::{checksum::crc32, FileBackend, MemBackend, NvmeEngine, RetryPolicy, StorageBackend, Ticket};
 use zi_tensor::FlatBuffer;
@@ -158,11 +158,24 @@ impl NodeResources {
         backend: Arc<dyn StorageBackend>,
         policy: RetryPolicy,
     ) -> Self {
+        Self::with_backend_policy_comm(spec, world, backend, policy, CommConfig::default())
+    }
+
+    /// [`Self::with_backend_policy`] with an explicit communicator
+    /// configuration (collective deadline + comm fault plan) — the
+    /// elastic trainer and comm-chaos tests build groups through this.
+    pub fn with_backend_policy_comm(
+        spec: &NodeMemorySpec,
+        world: WorldSize,
+        backend: Arc<dyn StorageBackend>,
+        policy: RetryPolicy,
+        comm: CommConfig,
+    ) -> Self {
         NodeResources {
             hierarchy: Arc::new(MemoryHierarchy::new(spec)),
             nvme: Arc::new(NvmeEngine::with_policy(backend, NVME_WORKERS, policy)),
             pinned: PinnedBufferPool::new(PINNED_BUF_COUNT, PINNED_BUF_BYTES),
-            group: CommGroup::new(world),
+            group: CommGroup::with_config(world, comm),
             resilience: Arc::new(ResilienceState::default()),
         }
     }

@@ -6,18 +6,19 @@
 //! dense single-process baseline when parameter storage is fp32) and by
 //! the examples/benches.
 
-use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
-use parking_lot::Mutex;
+use zi_comm::{CommConfig, CommFaultPlan};
 use zi_memory::NodeMemorySpec;
 use zi_model::{DenseStore, GptConfig, GptModel, InMemoryActStore, NoopObserver, RunOptions};
-use zi_nvme::{MemBackend, RetryPolicy, StorageBackend};
+use zi_nvme::{CheckpointStore, MemBackend, RetryPolicy, StorageBackend};
 use zi_optim::{AdamConfig, AdamShard, LrSchedule};
 use zi_tensor::Tensor;
 use zi_types::{Error, Result};
 
+use crate::checkpoint::reshard_checkpoint_blobs;
 use crate::config::Strategy;
 use crate::engine::{EngineStats, ZeroEngine};
 use crate::offload::{NodeResources, OffloadHealth};
@@ -55,9 +56,14 @@ pub struct TrainSpec {
     /// resumes from.
     pub checkpoint_every: usize,
     /// How many times a run may be restarted after a storage failure
-    /// (device death, unrecoverable corruption) before the error is
-    /// surfaced to the caller. 0 = fail on first storage error.
+    /// (device death, unrecoverable corruption) or a rank failure
+    /// (elastic world-shrink) before the error is surfaced to the
+    /// caller. 0 = fail on first failure.
     pub max_recoveries: usize,
+    /// Deadline for every collective; a peer that fails to arrive within
+    /// it surfaces as [`Error::CollectiveTimeout`] on the waiting ranks
+    /// instead of a hang.
+    pub collective_deadline: Duration,
 }
 
 impl TrainSpec {
@@ -78,6 +84,7 @@ impl TrainSpec {
             prefetch_window: 2,
             checkpoint_every: 0,
             max_recoveries: 0,
+            collective_deadline: Duration::from_secs(30),
         }
     }
 }
@@ -98,42 +105,127 @@ pub struct TrainOutcome {
     /// Offload-path health at the end of the run (failover and
     /// corruption counters).
     pub health: OffloadHealth,
+    /// Elastic world-shrink events, in order: one entry per rank failure
+    /// the session survived by re-partitioning onto fewer ranks.
+    pub elastic: Vec<ElasticEvent>,
+    /// Data-parallel degree the run finished with (smaller than
+    /// `spec.world` after elastic shrinks).
+    pub final_world: usize,
 }
 
-/// In-memory checkpoint store shared by the rank threads of one
-/// training session: per-rank engine-state blobs plus the loss history
-/// at save time, kept per step so recovery can pick the newest step
-/// *every* rank reached.
-/// One saved checkpoint: the engine-state blob and the losses so far.
-type Checkpoint = (Vec<u8>, Vec<f32>);
-
-#[derive(Default)]
-struct CheckpointVault {
-    // rank -> (completed steps -> checkpoint at that step)
-    inner: Mutex<HashMap<usize, BTreeMap<usize, Checkpoint>>>,
+/// One elastic world-shrink: a rank died mid-run and the survivors
+/// re-partitioned state from the last durable checkpoint and resumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElasticEvent {
+    /// The rank the communication layer blamed for the failure, when it
+    /// could tell (a latched timeout knows; a panic does not).
+    pub failed_rank: Option<usize>,
+    /// Data-parallel degree before the shrink.
+    pub from_world: usize,
+    /// Data-parallel degree after the shrink.
+    pub to_world: usize,
+    /// Optimizer step of the durable checkpoint the survivors resumed
+    /// from; `None` means no complete checkpoint existed and training
+    /// restarted from step 0.
+    pub resumed_from_step: Option<usize>,
 }
 
-impl CheckpointVault {
-    fn save(&self, rank: usize, steps_done: usize, blob: Vec<u8>, losses: Vec<f32>) {
-        self.inner.lock().entry(rank).or_default().insert(steps_done, (blob, losses));
-    }
+/// Environment a training session runs in: the offload device, its
+/// retry policy, the communication fault plan (chaos tests script rank
+/// deaths here), and the durable checkpoint store.
+pub struct TrainEnv {
+    /// Storage backend for NVMe offload traffic.
+    pub backend: Arc<dyn StorageBackend>,
+    /// Retry policy wrapped around every offload I/O request.
+    pub policy: RetryPolicy,
+    /// Fault plan injected into every collective (default: quiet).
+    pub comm_faults: CommFaultPlan,
+    /// Durable checkpoint store; `None` provisions a fresh in-memory
+    /// store sized for `spec.world`. The store device is deliberately
+    /// distinct from `backend`: checkpoints must survive the offload
+    /// device dying.
+    pub store: Option<CheckpointStore>,
+}
 
-    /// Newest step for which every rank holds a checkpoint.
-    fn latest_consistent(&self, world: usize) -> Option<usize> {
-        let inner = self.inner.lock();
-        let mut candidates: Option<Vec<usize>> = None;
-        for rank in 0..world {
-            let steps: Vec<usize> = inner.get(&rank)?.keys().copied().collect();
-            candidates = Some(match candidates {
-                None => steps,
-                Some(prev) => prev.into_iter().filter(|s| steps.contains(s)).collect(),
-            });
+impl TrainEnv {
+    /// An environment over `backend` with default policy, no injected
+    /// communication faults, and a private in-memory checkpoint store.
+    pub fn new(backend: Arc<dyn StorageBackend>) -> Self {
+        TrainEnv {
+            backend,
+            policy: RetryPolicy::default(),
+            comm_faults: CommFaultPlan::new(),
+            store: None,
         }
-        candidates.and_then(|c| c.into_iter().max())
+    }
+}
+
+/// Encode one rank's durable checkpoint payload: the loss history at
+/// save time followed by the engine-state blob.
+///
+/// Layout (little-endian): `n_losses: u64`, then `n_losses` f32 losses,
+/// then the [`ZeroEngine::save_state`] blob verbatim.
+pub fn encode_checkpoint_payload(blob: &[u8], losses: &[f32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + losses.len() * 4 + blob.len());
+    out.extend_from_slice(&(losses.len() as u64).to_le_bytes());
+    for l in losses {
+        out.extend_from_slice(&l.to_le_bytes());
+    }
+    out.extend_from_slice(blob);
+    out
+}
+
+/// Inverse of [`encode_checkpoint_payload`]: `(engine blob, losses)`.
+pub fn decode_checkpoint_payload(payload: &[u8]) -> Result<(Vec<u8>, Vec<f32>)> {
+    // The store already CRC-checks payload bytes, so a malformed layout
+    // here means the payload was never a trainer checkpoint.
+    let corrupt = |what: &str| Error::InvalidArgument(format!("checkpoint payload: {what}"));
+    if payload.len() < 8 {
+        return Err(corrupt("shorter than its length header"));
+    }
+    let n = u64::from_le_bytes(payload[..8].try_into().unwrap());
+    let n = usize::try_from(n).map_err(|_| corrupt("loss count overflows usize"))?;
+    let losses_end = n
+        .checked_mul(4)
+        .and_then(|b| b.checked_add(8))
+        .ok_or_else(|| corrupt("loss run overflows"))?;
+    if payload.len() < losses_end {
+        return Err(corrupt("truncated loss run"));
+    }
+    let losses = payload[8..losses_end]
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    Ok((payload[losses_end..].to_vec(), losses))
+}
+
+/// Durable checkpoint vault shared by the rank threads of one training
+/// session: a thin codec layer over [`CheckpointStore`], keyed by
+/// (rank, completed optimizer steps). Saves from the hot path go
+/// through the store's background writer; recovery drains it first.
+struct DurableVault {
+    store: CheckpointStore,
+}
+
+impl DurableVault {
+    fn save_async(&self, rank: usize, steps_done: usize, blob: Vec<u8>, losses: &[f32]) -> Result<()> {
+        // Background write: a failed save is detected at the next
+        // drain() (recovery or shutdown) and simply means that version
+        // never becomes complete; training never blocks on it.
+        self.store.save_async(rank, steps_done as u64, encode_checkpoint_payload(&blob, losses))
     }
 
-    fn get(&self, rank: usize, steps_done: usize) -> Option<(Vec<u8>, Vec<f32>)> {
-        self.inner.lock().get(&rank)?.get(&steps_done).cloned()
+    fn save_sync(&self, rank: usize, steps_done: usize, payload: Vec<u8>) -> Result<()> {
+        self.store.save(rank, steps_done as u64, &payload)
+    }
+
+    /// Newest step durably checkpointed by every rank in `0..world`.
+    fn latest_consistent(&self, world: usize) -> Result<Option<usize>> {
+        Ok(self.store.latest_complete(world)?.map(|v| v as usize))
+    }
+
+    fn get(&self, rank: usize, steps_done: usize) -> Result<(Vec<u8>, Vec<f32>)> {
+        decode_checkpoint_payload(&self.store.load(rank, steps_done as u64)?)
     }
 }
 
@@ -173,52 +265,121 @@ fn is_storage_failure(e: &Error) -> bool {
     e.is_device_failure() || matches!(e, Error::Corruption { .. })
 }
 
-/// [`train_gpt_on`] with an explicit NVMe retry policy.
-///
-/// This is the recovery loop: run the session; if a rank fails with a
-/// storage error and `spec.max_recoveries` allows, restart from the
-/// newest checkpoint every rank reached (or from scratch if none),
-/// degrading NVMe placement to CPU when the device died. Restarting
-/// replays the exact token stream, so a recovered run reproduces the
-/// fault-free trajectory bit for bit.
-///
-/// With `spec.world > 1` a mid-collective rank failure leaves sibling
-/// ranks blocked, so multi-rank specs should keep faults transient;
-/// device-death recovery is a single-rank (or full-node) story — see
-/// DESIGN.md "Failure model & recovery".
+/// [`train_gpt_on`] with an explicit NVMe retry policy; see
+/// [`train_gpt_env`] for the full recovery semantics.
 pub fn train_gpt_with_policy(
     spec: &TrainSpec,
     backend: Arc<dyn StorageBackend>,
     policy: RetryPolicy,
 ) -> Result<TrainOutcome> {
+    train_gpt_env(spec, TrainEnv { policy, ..TrainEnv::new(backend) })
+}
+
+/// Armed for the lifetime of a rank thread: any exit that is not a
+/// clean success — an error return or a panic unwinding the stack —
+/// marks the rank failed in its communication group, so sibling ranks
+/// blocked in a collective wake with [`Error::RankFailed`] immediately
+/// instead of burning the whole deadline.
+struct AbortOnDrop {
+    node: Arc<NodeResources>,
+    rank: usize,
+    armed: bool,
+}
+
+impl Drop for AbortOnDrop {
+    fn drop(&mut self) {
+        if self.armed {
+            self.node.group.abort_rank(self.rank);
+        }
+    }
+}
+
+/// The environment-parameterized training entry point and recovery
+/// loop: run the session; on failure, classify it and — budget
+/// permitting — recover.
+///
+/// * **Storage failure** on any rank (device death, unrecoverable
+///   corruption): restart at the same world size from the newest
+///   durable checkpoint, degrading NVMe placement to CPU when the
+///   device died. Restarting replays the exact token stream, so a
+///   recovered run reproduces the fault-free trajectory bit for bit.
+/// * **Rank failure** (scripted death, collective timeout, panic):
+///   elastic world-shrink. The survivors' coordinated abort unwinds
+///   every rank, background saves are drained, per-rank optimizer
+///   shards from the newest durable checkpoint are re-partitioned onto
+///   `world - 1` ranks via [`reshard_checkpoint_blobs`], and training
+///   resumes on the shrunken group. Each shrink is recorded in
+///   [`TrainOutcome::elastic`].
+///
+/// Either path consumes one unit of `spec.max_recoveries` budget; with
+/// the budget exhausted the classified error is surfaced.
+pub fn train_gpt_env(spec: &TrainSpec, env: TrainEnv) -> Result<TrainOutcome> {
     let spec = *spec;
-    let vault = Arc::new(CheckpointVault::default());
+    if spec.world == 0 {
+        return Err(Error::InvalidArgument("world must be at least 1".into()));
+    }
+    let store = match env.store {
+        Some(s) => {
+            if s.ranks() < spec.world {
+                return Err(Error::InvalidArgument(format!(
+                    "checkpoint store holds {} ranks but the spec needs {}",
+                    s.ranks(),
+                    spec.world
+                )));
+            }
+            s
+        }
+        // The default store lives on its own in-memory device, distinct
+        // from the offload backend: checkpoints must survive the offload
+        // device dying.
+        None => CheckpointStore::new(Arc::new(MemBackend::new()), spec.world, 2)?,
+    };
+    let vault = Arc::new(DurableVault { store });
+    let mut world = spec.world;
     let mut degraded_start = false;
     let mut recoveries = 0usize;
+    let mut elastic: Vec<ElasticEvent> = Vec::new();
     loop {
-        let node = Arc::new(NodeResources::with_backend_policy(
+        let node = Arc::new(NodeResources::with_backend_policy_comm(
             &spec.node,
-            spec.world,
-            Arc::clone(&backend),
-            policy,
+            world,
+            Arc::clone(&env.backend),
+            env.policy,
+            CommConfig {
+                deadline: spec.collective_deadline,
+                faults: env.comm_faults.clone(),
+            },
         ));
         if degraded_start {
             node.degrade();
         }
-        let resume = vault.latest_consistent(spec.world).filter(|_| spec.checkpoint_every > 0);
-        let mut handles = Vec::with_capacity(spec.world);
-        for rank in 0..spec.world {
+        let resume = if spec.checkpoint_every > 0 {
+            vault.latest_consistent(world)?
+        } else {
+            None
+        };
+        let mut handles = Vec::with_capacity(world);
+        for rank in 0..world {
             let node = Arc::clone(&node);
             let vault = Arc::clone(&vault);
             handles.push(
                 thread::Builder::new()
                     .name(format!("zi-rank-{rank}"))
-                    .spawn(move || run_rank(rank, &spec, &node, &vault, resume))
+                    .spawn(move || {
+                        let mut guard =
+                            AbortOnDrop { node: Arc::clone(&node), rank, armed: true };
+                        let res = run_rank(rank, &spec, world, &node, &vault, resume);
+                        if res.is_ok() {
+                            guard.armed = false;
+                        }
+                        res
+                    })
                     .expect("spawn rank thread"),
             );
         }
         let mut outcome = None;
-        let mut first_err = None;
+        let mut first_err: Option<Error> = None;
+        let mut saw_storage_failure = false;
         for (rank, h) in handles.into_iter().enumerate() {
             match h.join() {
                 Ok(Ok(out)) => {
@@ -227,7 +388,18 @@ pub fn train_gpt_with_policy(
                     }
                 }
                 Ok(Err(e)) => {
-                    first_err.get_or_insert(e);
+                    // A device error on one rank cascades into RankFailed
+                    // on its siblings (coordinated abort); classify the
+                    // session by the root cause, not by whichever rank
+                    // happened to join first.
+                    saw_storage_failure |= is_storage_failure(&e);
+                    let replace = match &first_err {
+                        None => true,
+                        Some(f) => f.is_rank_failure() && !e.is_rank_failure(),
+                    };
+                    if replace {
+                        first_err = Some(e);
+                    }
                 }
                 Err(_) => {
                     first_err.get_or_insert(Error::Internal(format!("rank {rank} panicked")));
@@ -237,21 +409,66 @@ pub fn train_gpt_with_policy(
         let health = node.offload_manager().health();
         match first_err {
             None => {
+                // Durability barrier for trailing background saves. A
+                // failed trailing save only means an older checkpoint
+                // wins on the next recovery; it does not invalidate the
+                // training run that just completed.
+                let _ = vault.store.drain();
                 let mut out = outcome
                     .ok_or_else(|| Error::Internal("rank 0 produced no outcome".into()))?;
                 out.degraded = health.degraded;
                 out.recoveries = recoveries;
                 out.health = health;
+                out.elastic = std::mem::take(&mut elastic);
+                out.final_world = world;
                 return Ok(out);
             }
             Some(e) => {
-                if recoveries >= spec.max_recoveries || !is_storage_failure(&e) {
+                if recoveries >= spec.max_recoveries {
                     return Err(e);
                 }
-                recoveries += 1;
-                // If the device died, the replacement run must not trust
-                // it: start degraded (all NVMe stores land on CPU).
-                degraded_start = degraded_start || health.degraded;
+                if saw_storage_failure || is_storage_failure(&e) {
+                    recoveries += 1;
+                    // If the device died, the replacement run must not
+                    // trust it: start degraded (all NVMe stores on CPU).
+                    degraded_start = degraded_start || health.degraded;
+                } else if e.is_rank_failure() && world > 1 {
+                    recoveries += 1;
+                    // Settle in-flight background saves first; one that
+                    // failed during the crash just means an older
+                    // complete checkpoint wins.
+                    let _ = vault.store.drain();
+                    let resumed = vault.latest_consistent(world)?;
+                    if let Some(version) = resumed {
+                        // Re-partition the full shard set onto the
+                        // shrunken world and republish it synchronously
+                        // at the same version, so the next session's
+                        // latest-complete scan at `world - 1` finds it.
+                        let mut blobs = Vec::with_capacity(world);
+                        let mut saved_losses = Vec::new();
+                        for rank in 0..world {
+                            let (blob, losses) = vault.get(rank, version)?;
+                            if rank == 0 {
+                                saved_losses = losses;
+                            }
+                            blobs.push(blob);
+                        }
+                        let resharded = reshard_checkpoint_blobs(&blobs, world - 1)?;
+                        for (rank, blob) in resharded.into_iter().enumerate() {
+                            let payload = encode_checkpoint_payload(&blob, &saved_losses);
+                            vault.save_sync(rank, version, payload)?;
+                        }
+                    }
+                    elastic.push(ElasticEvent {
+                        failed_rank: node.group.failed_rank(),
+                        from_world: world,
+                        to_world: world - 1,
+                        resumed_from_step: resumed,
+                    });
+                    world -= 1;
+                } else {
+                    return Err(e);
+                }
             }
         }
     }
@@ -260,8 +477,9 @@ pub fn train_gpt_with_policy(
 fn run_rank(
     rank: usize,
     spec: &TrainSpec,
+    world: usize,
     node: &NodeResources,
-    vault: &CheckpointVault,
+    vault: &DurableVault,
     resume: Option<usize>,
 ) -> Result<TrainOutcome> {
     let model = GptModel::new(spec.model);
@@ -290,14 +508,13 @@ fn run_rank(
     };
     let mut mem_acts = InMemoryActStore::new();
     engine.set_grad_accumulation(spec.grad_accumulation);
-    // Resume from the vault if recovery asked for it. `load_state` is a
-    // collective for replicated-parameter strategies, and `resume` is the
-    // same value on every rank, so all ranks enter it together.
+    // Resume from the durable vault if recovery asked for it.
+    // `load_state` is a collective for replicated-parameter strategies,
+    // and `resume` is the same value on every rank, so all ranks enter
+    // it together.
     let start_step = match resume {
         Some(step) => {
-            let (blob, saved_losses) = vault.get(rank, step).ok_or_else(|| {
-                Error::Internal(format!("rank {rank}: missing checkpoint for step {step}"))
-            })?;
+            let (blob, saved_losses) = vault.get(rank, step)?;
             engine.load_state(&blob)?;
             losses = saved_losses;
             step
@@ -315,7 +532,7 @@ fn run_rank(
         for micro in 0..spec.grad_accumulation {
             let data_step = step * spec.grad_accumulation + micro;
             let (tokens, targets) =
-                synthetic_batch(&spec.model, spec.world * spec.micro_batch, data_step);
+                synthetic_batch(&spec.model, world * spec.micro_batch, data_step);
             let lo = rank * rows;
             let hi = lo + rows;
             let acts: &mut dyn zi_model::ActivationStore = match &mut cpu_acts {
@@ -334,18 +551,19 @@ fn run_rank(
         let loss = loss / spec.grad_accumulation as f32;
         engine.step()?;
         // Mean loss across ranks (collective; every rank participates).
-        let world = node.group.world_size() as f32;
+        let nranks = node.group.world_size() as f32;
         let mean = {
             // Borrow the engine's communicator indirectly: each rank holds
             // its own handle inside the engine, so use a fresh one here.
-            node.group.communicator(rank).sum_scalar(loss) / world
+            node.group.communicator(rank).sum_scalar(loss)? / nranks
         };
         losses.push(mean);
-        // Periodic checkpoint into the shared vault. Save is collective
-        // (state export gathers replicated parameters), and the cadence is
-        // spec-driven, so ranks stay in lockstep.
+        // Periodic checkpoint into the durable vault via the store's
+        // background writer. State export is collective (it gathers
+        // replicated parameters), and the cadence is spec-driven, so
+        // ranks stay in lockstep.
         if spec.checkpoint_every > 0 && (step + 1) % spec.checkpoint_every == 0 {
-            vault.save(rank, step + 1, engine.save_state()?, losses.clone());
+            vault.save_async(rank, step + 1, engine.save_state()?, &losses)?;
         }
     }
     // Export final parameters (collective, so every rank runs it).
@@ -365,6 +583,8 @@ fn run_rank(
         degraded: false,
         recoveries: 0,
         health: OffloadHealth::default(),
+        elastic: Vec::new(),
+        final_world: world,
     })
 }
 
@@ -729,8 +949,10 @@ mod recovery_tests {
         }
     }
 
-    /// Recovery tests run single-rank: a rank failing mid-collective
-    /// would leave sibling ranks blocked (see train_gpt_with_policy docs).
+    /// Storage-recovery tests run single-rank to isolate the
+    /// same-world restart path; multi-rank failures (which now unwind
+    /// via coordinated abort and shrink the world) are exercised by the
+    /// elasticity suite in tests/chaos.rs.
     fn spec() -> TrainSpec {
         let cfg = GptConfig { vocab: 16, hidden: 8, layers: 2, heads: 2, seq: 4, seed: 31 };
         let mut spec =

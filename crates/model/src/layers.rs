@@ -710,7 +710,7 @@ mod tests {
         // Row r = wte[token] + wpe[pos].
         let r = 4; // batch 1, pos 1, token 5
         for j in 0..c.hidden {
-            let expect = wte.data()[5 * c.hidden + j] + wpe.data()[1 * c.hidden + j];
+            let expect = wte.data()[5 * c.hidden + j] + wpe.data()[c.hidden + j];
             assert!((x.data()[r * c.hidden + j] - expect).abs() < 1e-6);
         }
         let dy = seeded(&[c.rows(), c.hidden], 62);

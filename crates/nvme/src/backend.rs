@@ -48,6 +48,14 @@ impl FileBackend {
         Ok(FileBackend { file, bytes_read: AtomicU64::new(0), bytes_written: AtomicU64::new(0) })
     }
 
+    /// Open the existing file at `path` without truncating it —
+    /// recovery paths (e.g. [`crate::CheckpointStore::open`]) reattach
+    /// to a device that already holds data.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        Ok(FileBackend { file, bytes_read: AtomicU64::new(0), bytes_written: AtomicU64::new(0) })
+    }
+
     /// Bytes read through this backend.
     pub fn bytes_read(&self) -> u64 {
         self.bytes_read.load(Ordering::Relaxed)

@@ -479,7 +479,7 @@ mod tests {
         let err = b.write_at(0, &[5; 64]).unwrap_err();
         assert!(err.is_transient());
         let torn_len = b.len().unwrap();
-        assert!(torn_len >= 1 && torn_len < 64, "torn length {torn_len}");
+        assert!((1..64).contains(&torn_len), "torn length {torn_len}");
         // Retrying the write restores full consistency.
         b.write_at(0, &[5; 64]).unwrap();
         let mut buf = [0u8; 64];

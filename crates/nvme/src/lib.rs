@@ -29,8 +29,10 @@ pub mod checksum;
 pub mod engine;
 pub mod fault;
 pub mod retry;
+pub mod store;
 
 pub use backend::{FileBackend, MemBackend, StorageBackend, ThrottledBackend};
 pub use engine::{IoStats, NvmeEngine, Ticket};
 pub use fault::{FaultPlan, FaultProfile, FaultyBackend, InjectedStats};
 pub use retry::{RetryPolicy, RetryReport};
+pub use store::{CheckpointStore, StoreStats};

@@ -53,6 +53,36 @@ pub enum Error {
     /// retry budget, or the backend reported an unrecoverable fault. Once
     /// raised, subsequent requests fail fast with this error too.
     DeviceFailed(String),
+    /// A data-parallel rank died (or aborted) and its communicator group
+    /// is permanently broken. Every collective on every surviving rank
+    /// returns this error instead of hanging, so the whole group unwinds
+    /// mid-step (coordinated abort).
+    RankFailed {
+        /// The rank that died or aborted.
+        rank: usize,
+        /// The collective in flight when the failure surfaced.
+        context: String,
+    },
+    /// A collective exceeded its deadline: some peer stopped arriving at
+    /// barriers without ever being marked failed (e.g. it is wedged, not
+    /// dead). The timed-out rank marks itself failed so its peers unwind
+    /// too.
+    CollectiveTimeout {
+        /// The collective that timed out.
+        context: String,
+        /// Per-synchronization deadline that was exceeded.
+        deadline: std::time::Duration,
+    },
+    /// A serialized artifact (checkpoint blob, store superblock, …) has a
+    /// recognizable magic but an unsupported format version.
+    VersionMismatch {
+        /// What was being parsed.
+        context: String,
+        /// Version found in the bytes.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
     /// An invalid argument or configuration was supplied.
     InvalidArgument(String),
     /// Internal invariant violated (a bug in this library).
@@ -85,6 +115,13 @@ impl Error {
     pub fn is_device_failure(&self) -> bool {
         matches!(self, Error::DeviceFailed(_) | Error::Timeout { .. })
     }
+
+    /// True if this error means a data-parallel peer is gone and the
+    /// communicator group is broken: the caller should abort the step and
+    /// recover elastically (shrink the world), not retry the collective.
+    pub fn is_rank_failure(&self) -> bool {
+        matches!(self, Error::RankFailed { .. } | Error::CollectiveTimeout { .. })
+    }
 }
 
 impl fmt::Display for Error {
@@ -105,6 +142,15 @@ impl fmt::Display for Error {
                 "corruption detected: {context}: checksum {actual:#010x}, expected {expected:#010x}"
             ),
             Error::DeviceFailed(msg) => write!(f, "storage device failed: {msg}"),
+            Error::RankFailed { rank, context } => {
+                write!(f, "rank {rank} failed during {context}; communicator group aborted")
+            }
+            Error::CollectiveTimeout { context, deadline } => {
+                write!(f, "collective timeout: {context} exceeded {deadline:?}")
+            }
+            Error::VersionMismatch { context, found, expected } => {
+                write!(f, "version mismatch: {context}: found {found}, expected {expected}")
+            }
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             Error::Internal(msg) => write!(f, "internal error: {msg}"),
         }
@@ -146,7 +192,7 @@ mod tests {
 
     #[test]
     fn io_error_conversion() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk fell off");
+        let io = std::io::Error::other("disk fell off");
         let e: Error = io.into();
         assert!(matches!(e, Error::Io(_)));
         assert!(!e.is_oom());
@@ -160,7 +206,7 @@ mod tests {
 
     #[test]
     fn transient_classification() {
-        let io: Error = std::io::Error::new(std::io::ErrorKind::Other, "hiccup").into();
+        let io: Error = std::io::Error::other("hiccup").into();
         assert!(io.is_transient());
         assert!(!io.is_device_failure());
 
@@ -181,5 +227,40 @@ mod tests {
         assert!(dead.to_string().contains("retries exhausted"));
 
         assert!(!Error::shape("x").is_transient());
+    }
+
+    #[test]
+    fn rank_failure_classification() {
+        let dead = Error::RankFailed { rank: 2, context: "allreduce".into() };
+        assert!(dead.is_rank_failure());
+        assert!(!dead.is_transient());
+        assert!(!dead.is_device_failure());
+        assert!(dead.to_string().contains("rank 2"));
+        assert!(dead.to_string().contains("allreduce"));
+
+        let slow = Error::CollectiveTimeout {
+            context: "barrier".into(),
+            deadline: std::time::Duration::from_millis(250),
+        };
+        assert!(slow.is_rank_failure());
+        assert!(!slow.is_device_failure(), "collective timeouts are not storage timeouts");
+
+        // Storage-side errors are not rank failures.
+        let io: Error = std::io::Error::other("x").into();
+        assert!(!io.is_rank_failure());
+        let timeout = Error::Timeout {
+            context: "read".into(),
+            deadline: std::time::Duration::from_millis(50),
+        };
+        assert!(!timeout.is_rank_failure());
+    }
+
+    #[test]
+    fn version_mismatch_display() {
+        let e = Error::VersionMismatch { context: "checkpoint blob".into(), found: 1, expected: 2 };
+        assert!(!e.is_rank_failure());
+        assert!(!e.is_transient());
+        let s = e.to_string();
+        assert!(s.contains("checkpoint blob") && s.contains("found 1") && s.contains("expected 2"));
     }
 }

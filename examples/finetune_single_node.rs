@@ -69,7 +69,7 @@ fn main() {
                     .train_step(&mut engine, &tokens[lo..lo + rows], &targets[lo..lo + rows], &opts)
                     .expect("train step");
                 engine.step().expect("optimizer step");
-                losses.push(node.group.communicator(rank).sum_scalar(loss) / world as f32);
+                losses.push(node.group.communicator(rank).sum_scalar(loss).unwrap() / world as f32);
             }
             (rank, losses, engine.stats())
         }));

@@ -36,6 +36,7 @@ fn main() {
         prefetch_window: 2,
         checkpoint_every: 0,
         max_recoveries: 0,
+        collective_deadline: std::time::Duration::from_secs(30),
     };
 
     println!("training a {}-parameter GPT with {}", param_count(&model), spec.strategy.name);

@@ -1,16 +1,26 @@
-//! Checkpoint / resume: save a rank's training state mid-run and continue
-//! in a fresh engine, reproducing the uninterrupted trajectory exactly.
+//! Checkpoint / resume through the crash-consistent [`CheckpointStore`]:
+//! save a rank's training state mid-run into a versioned on-disk store,
+//! reattach to the store in a fresh engine (as a restarted process
+//! would), and continue — reproducing the uninterrupted trajectory
+//! exactly.
 //!
 //! Each rank saves only its own optimizer shard (~12 bytes x params / dp),
 //! the same no-replication principle ZeRO applies to training itself.
+//! The store adds a superblock + per-slot manifest with CRC32-C over
+//! both manifest and payload, publishes each save atomically, and on
+//! recovery offers the newest version that is durably complete — so a
+//! crash mid-save can never surface a torn checkpoint.
 //!
 //! Run with: `cargo run --release --example resume_training`
+
+use std::sync::Arc;
 
 use zero_infinity_suite::model::{GptConfig, GptModel, RunOptions};
 use zero_infinity_suite::optim::AdamConfig;
 use zero_infinity_suite::zero::trainer::synthetic_batch;
 use zero_infinity_suite::zero::{NodeResources, Strategy, ZeroEngine};
 use zi_memory::NodeMemorySpec;
+use zi_nvme::{CheckpointStore, FileBackend};
 
 fn new_engine(model: &GptModel) -> (NodeResources, ZeroEngine) {
     let node =
@@ -51,18 +61,31 @@ fn main() {
     let (_n1, mut continuous) = new_engine(&model);
     let reference = steps(&model, &mut continuous, &cfg, 0..8);
 
-    // Interrupted: 4 steps, checkpoint to disk, resume in a fresh engine.
+    // Interrupted: 4 steps, durable save into a 2-slot on-disk store.
+    let path = std::env::temp_dir().join(format!("zi_resume_{}.ckpt", std::process::id()));
     let (_n2, mut first_half) = new_engine(&model);
     let before = steps(&model, &mut first_half, &cfg, 0..4);
-    let blob = first_half.save_state().expect("save");
-    let path = std::env::temp_dir().join(format!("zi_resume_{}.ckpt", std::process::id()));
-    std::fs::write(&path, &blob).expect("write checkpoint");
+    {
+        let backend = Arc::new(FileBackend::create(&path).expect("create store file"));
+        let store = CheckpointStore::new(backend, 1, 2).expect("create store");
+        let blob = first_half.save_state().expect("save");
+        store.save(0, 4, &blob).expect("durable save");
+        println!("checkpoint v4 published: {} bytes at {}", blob.len(), path.display());
+    } // store (and its background writer) dropped: simulated process exit
     first_half.dispose().expect("dispose");
-    println!("checkpoint written: {} bytes at {}", blob.len(), path.display());
 
+    // Resume: reattach to the store from nothing but the file, ask for
+    // the newest durably complete version, and load it.
+    let backend = Arc::new(FileBackend::open(&path).expect("reopen store file"));
+    let store = CheckpointStore::open(backend).expect("reopen store");
+    let version = store
+        .latest_complete(1)
+        .expect("scan store")
+        .expect("a complete checkpoint must exist");
     let (_n3, mut resumed) = new_engine(&model);
-    resumed.load_state(&std::fs::read(&path).expect("read checkpoint")).expect("load");
-    let after = steps(&model, &mut resumed, &cfg, 4..8);
+    resumed.load_state(&store.load(0, version).expect("load v4")).expect("load");
+    println!("recovered checkpoint v{version} after reattach");
+    let after = steps(&model, &mut resumed, &cfg, version as usize..8);
     std::fs::remove_file(&path).ok();
 
     println!();

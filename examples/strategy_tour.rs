@@ -46,6 +46,7 @@ fn main() {
             prefetch_window: 2,
             checkpoint_every: 0,
             max_recoveries: 0,
+            collective_deadline: std::time::Duration::from_secs(30),
         };
         let out = train_gpt(&spec).expect("strategy run");
         let max_d = out

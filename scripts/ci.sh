@@ -11,3 +11,12 @@ cargo clippy --workspace -- -D warnings
 # (the vendored criterion's --test mode), so bench-only regressions
 # fail CI without paying full measurement time.
 cargo bench -p zi-bench --bench engine_bench -- --test
+# Chaos soak: elevated-rate rank-death + delay + storage-fault run
+# (the #[ignore]d soak in tests/chaos.rs). The resilience contract is
+# "bounded, typed failure — never a hang", so the stage itself carries
+# a hard wall-clock timeout: if the soak wedges, CI fails in 120s
+# instead of hanging the pipeline (124 is coreutils timeout's exit
+# code for "killed by timeout").
+timeout --kill-after=10s 120s \
+    cargo test -q --test chaos -- --ignored \
+    || { echo "chaos soak failed or timed out (exit $?)"; exit 1; }

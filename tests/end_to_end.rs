@@ -58,7 +58,7 @@ fn full_stack_training_on_file_backed_nvme() {
                     )
                     .expect("train step");
                 assert!(engine.step().expect("optimizer step"), "no overflow expected");
-                losses.push(node.group.communicator(rank).sum_scalar(loss) / world as f32);
+                losses.push(node.group.communicator(rank).sum_scalar(loss).unwrap() / world as f32);
             }
             let stats = engine.stats();
             engine.dispose().expect("dispose");

@@ -27,6 +27,7 @@ fn spec(strategy: Strategy, world: usize, micro: usize) -> TrainSpec {
         prefetch_window: 2,
         checkpoint_every: 0,
         max_recoveries: 0,
+        collective_deadline: std::time::Duration::from_secs(30),
     }
 }
 

@@ -46,7 +46,7 @@ fn measure(strategy: Strategy, world: usize) -> (u64, u64, u64, usize) {
             // Hold until every rank is initialized, then let rank 0
             // measure while all engines are still alive; a second barrier
             // orders dispose after the measurement.
-            node.group.communicator(rank).barrier();
+            node.group.communicator(rank).barrier().unwrap();
             let measured = if rank == 0 {
                 let gpu: u64 =
                     (0..world).map(|r| node.hierarchy.stats(Device::gpu(r)).in_use).sum();
@@ -56,7 +56,7 @@ fn measure(strategy: Strategy, world: usize) -> (u64, u64, u64, usize) {
             } else {
                 None
             };
-            node.group.communicator(rank).barrier();
+            node.group.communicator(rank).barrier().unwrap();
             engine.dispose().expect("dispose");
             measured
         }));
