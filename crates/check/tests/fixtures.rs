@@ -1,0 +1,179 @@
+//! Self-tests for the detector itself: seeded-bug fixtures `zi-check`
+//! MUST flag (guarding against false-negative regressions in the
+//! checker) and known-clean protocols it must pass. Only meaningful
+//! under `RUSTFLAGS="--cfg zi_check"`; in passthrough builds the buggy
+//! fixtures would really deadlock, so the whole file is gated.
+#![cfg(zi_check)]
+
+use std::sync::Arc;
+
+use zi_check::{Checker, FailureKind};
+use zi_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use zi_sync::{thread, Condvar, Mutex, RaceCell};
+
+fn checker(schedules: usize) -> Checker {
+    Checker { schedules, ..Checker::default() }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded bug 1: data race via relaxed-ordering publish
+
+fn relaxed_publish_body() {
+    let cell = Arc::new(RaceCell::new(0u64));
+    let flag = Arc::new(AtomicBool::new(false));
+    let (c2, f2) = (Arc::clone(&cell), Arc::clone(&flag));
+    let t = thread::spawn(move || {
+        c2.set(42);
+        // BUG: Relaxed store publishes no happens-before edge, so the
+        // reader below may touch the cell unordered with the write.
+        f2.store(true, Ordering::Relaxed);
+    });
+    if flag.load(Ordering::Relaxed) {
+        let _ = cell.get();
+    }
+    t.join().unwrap();
+}
+
+#[test]
+fn flags_relaxed_publish_data_race() {
+    let report = checker(1000).check("fixture-relaxed-publish", relaxed_publish_body);
+    let f = report.failure.expect("detector must flag the relaxed-publish race");
+    assert_eq!(f.kind, FailureKind::DataRace, "unexpected failure: {f}");
+}
+
+// Clean twin: the identical shape with release/acquire ordering carries
+// the happens-before edge and must pass.
+#[test]
+fn passes_release_acquire_publish() {
+    let report = checker(1000).check("fixture-clean-publish", || {
+        let cell = Arc::new(RaceCell::new(0u64));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (c2, f2) = (Arc::clone(&cell), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            c2.set(42);
+            f2.store(true, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) {
+            assert_eq!(cell.get(), 42);
+        }
+        t.join().unwrap();
+        assert_eq!(cell.get(), 42); // ordered by join
+    });
+    assert!(report.passed(), "clean publish wrongly flagged: {}", report.failure.unwrap());
+}
+
+// ---------------------------------------------------------------------------
+// Seeded bug 2: ABBA deadlock
+
+fn abba_body() {
+    let a = Arc::new(Mutex::new(0u32));
+    let b = Arc::new(Mutex::new(0u32));
+    let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+    let t = thread::spawn(move || {
+        let _ga = a2.lock();
+        let _gb = b2.lock();
+    });
+    // BUG: opposite acquisition order from the spawned thread.
+    let _gb = b.lock();
+    let _ga = a.lock();
+    drop(_ga);
+    drop(_gb);
+    t.join().unwrap();
+}
+
+#[test]
+fn flags_abba_deadlock_with_cycle() {
+    let report = checker(1000).check("fixture-abba", abba_body);
+    let f = report.failure.expect("detector must flag the ABBA deadlock");
+    assert_eq!(f.kind, FailureKind::Deadlock, "unexpected failure: {f}");
+    assert!(f.message.contains("wait-for cycle"), "no cycle in report:\n{}", f.message);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded bug 3: lost wakeup — the exact pre-fix NvmeEngine::flush shape
+// (completion counter decremented and notified outside the lock the
+// waiter's predicate check holds).
+
+fn lost_wakeup_body() {
+    let shared = Arc::new((Mutex::new(()), Condvar::new(), AtomicU64::new(1)));
+    let s2 = Arc::clone(&shared);
+    let t = thread::spawn(move || {
+        let (_m, cv, in_flight) = &*s2;
+        // BUG: decrement + notify without holding the mutex; the waiter
+        // can check the counter, see 1, and park after this notify.
+        in_flight.fetch_sub(1, Ordering::AcqRel);
+        cv.notify_all();
+    });
+    let (m, cv, in_flight) = &*shared;
+    let mut g = m.lock();
+    while in_flight.load(Ordering::Acquire) > 0 {
+        cv.wait(&mut g);
+    }
+    drop(g);
+    t.join().unwrap();
+}
+
+#[test]
+fn flags_lost_wakeup() {
+    let report = checker(1000).check("fixture-lost-wakeup", lost_wakeup_body);
+    let f = report.failure.expect("detector must flag the lost wakeup");
+    assert_eq!(f.kind, FailureKind::Deadlock, "unexpected failure: {f}");
+    assert!(f.message.contains("lost wakeup"), "no lost-wakeup note:\n{}", f.message);
+}
+
+// ---------------------------------------------------------------------------
+// Known-clean protocol: predicate mutated under the condvar's mutex.
+
+#[test]
+fn passes_guarded_condvar_handoff() {
+    let report = checker(1000).check("fixture-clean-handoff", || {
+        let shared = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let s2 = Arc::clone(&shared);
+        let t = thread::spawn(move || {
+            let (m, cv) = &*s2;
+            let mut g = m.lock();
+            *g += 1;
+            cv.notify_one();
+        });
+        let (m, cv) = &*shared;
+        let mut g = m.lock();
+        while *g == 0 {
+            cv.wait(&mut g);
+        }
+        drop(g);
+        t.join().unwrap();
+    });
+    assert!(report.passed(), "clean handoff wrongly flagged: {}", report.failure.unwrap());
+}
+
+// ---------------------------------------------------------------------------
+// Replay: a failing schedule reproduces deterministically from its
+// recorded trace and from its printed seed.
+
+#[test]
+fn replays_failing_schedule_deterministically() {
+    let c = checker(1000);
+    let report = c.check("fixture-abba-replay", abba_body);
+    let f = report.failure.expect("ABBA must fail");
+
+    let from_trace = c.replay_trace("fixture-abba-replay", &f.trace, abba_body);
+    let f2 = from_trace.failure.expect("trace replay must reproduce the failure");
+    assert_eq!(f2.kind, f.kind);
+    assert_eq!(f2.trace, f.trace, "trace replay diverged");
+
+    let seed = f.seed.expect("random-mode failures carry a seed");
+    let from_seed = c.replay_seed("fixture-abba-replay", seed, abba_body);
+    let f3 = from_seed.failure.expect("seed replay must reproduce the failure");
+    assert_eq!(f3.kind, f.kind);
+    assert_eq!(f3.trace, f.trace, "seed replay diverged");
+}
+
+// DFS with a preemption bound systematically enumerates the bounded
+// space and still catches the ABBA bug.
+#[test]
+fn dfs_mode_finds_abba() {
+    let c = Checker { mode: zi_check::Mode::Dfs, schedules: 5000, ..Checker::default() };
+    let report = c.check("fixture-abba-dfs", abba_body);
+    let f = report.failure.expect("DFS must reach the deadlocking interleaving");
+    assert_eq!(f.kind, FailureKind::Deadlock);
+}

@@ -31,7 +31,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use zi_sync::Mutex;
 use zi_types::Rank;
 
 /// Probabilities for the seeded chaos layer of a [`CommFaultPlan`].

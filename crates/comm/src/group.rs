@@ -24,9 +24,10 @@
 //! NCCL communicator is torn down and re-initialized after a fault.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use zi_sync::time::Instant;
+use zi_sync::{Condvar, Mutex};
 use zi_types::{Error, Rank, Result, WorldSize};
 
 use crate::fault::{CommFaultPlan, CommVerdict};
@@ -209,7 +210,7 @@ impl Communicator {
         }
         let (verdict, delay) = self.shared.faults.judge(self.rank);
         if let Some(d) = delay {
-            std::thread::sleep(d);
+            zi_sync::thread::sleep(d);
         }
         match verdict {
             CommVerdict::Proceed => Ok(None),
@@ -432,7 +433,7 @@ unsafe impl Send for Communicator {}
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
-    use std::thread;
+    use zi_sync::thread;
 
     /// Run `f(rank, comm)` on one thread per rank of `group` and collect
     /// results in rank order.

@@ -5,7 +5,7 @@
 //! payload for allgather/reduce-scatter). These counters drive the
 //! Fig. 6c comparison of broadcast-based vs allgather-based offload fetch.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use zi_sync::atomic::{AtomicU64, Ordering};
 
 /// Aggregate byte counters, updated atomically by all ranks.
 #[derive(Debug, Default)]

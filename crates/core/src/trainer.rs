@@ -374,7 +374,7 @@ pub fn train_gpt_env(spec: &TrainSpec, env: TrainEnv) -> Result<TrainOutcome> {
                         }
                         res
                     })
-                    .expect("spawn rank thread"),
+                    .map_err(|e| Error::Internal(format!("spawn rank thread {rank}: {e}")))?,
             );
         }
         let mut outcome = None;

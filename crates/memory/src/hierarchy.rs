@@ -1,6 +1,6 @@
 //! Per-node memory hierarchy: one pool per device tier.
 
-use parking_lot::Mutex;
+use zi_sync::Mutex;
 use zi_types::{ByteSize, Device, DeviceKind, Rank, Result};
 
 use crate::pool::{Block, MemoryPool, PoolStats};

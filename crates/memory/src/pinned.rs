@@ -10,7 +10,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use zi_sync::{Condvar, Mutex};
 
 /// A transfer buffer checked out of a [`PinnedBufferPool`].
 ///
@@ -136,7 +136,7 @@ impl PinnedBufferPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::thread;
+    use zi_sync::thread;
     use std::time::Duration;
 
     #[test]

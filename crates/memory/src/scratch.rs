@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use zi_sync::Mutex;
 
 /// Reuse counters for a [`ScratchPool`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

@@ -15,12 +15,12 @@
 //! shards to CPU memory.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::{Condvar, Mutex};
+use zi_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use zi_sync::channel::{unbounded, Sender};
+use zi_sync::thread::JoinHandle;
+use zi_sync::{Condvar, Mutex};
 use zi_types::{Error, Result};
 
 use crate::backend::StorageBackend;
@@ -165,11 +165,17 @@ impl NvmeEngine {
             let backend = Arc::clone(&backend);
             let shared = Arc::clone(&shared);
             workers.push(
-                std::thread::Builder::new()
+                zi_sync::thread::Builder::new()
                     .name(format!("zi-nvme-{i}"))
                     .spawn(move || {
                         while let Ok(req) = rx.recv() {
                             Self::serve(&req, &backend, &shared, &policy);
+                            // Decrement under the completions lock: flush()
+                            // checks `in_flight` while holding that lock, so
+                            // a decrement+notify slipped between its check
+                            // and its wait would be a lost wakeup (flush
+                            // sleeps forever on an already-drained engine).
+                            let _comps = shared.completions.lock();
                             shared.in_flight.fetch_sub(1, Ordering::AcqRel);
                             shared.done.notify_all();
                         }
@@ -228,14 +234,30 @@ impl NvmeEngine {
         }
     }
 
+    /// Resolve a submission that could not reach the worker pool (every
+    /// worker exited — a bug or a panic storm, not a device fault) as a
+    /// typed failure the owner's `wait` will surface, instead of
+    /// panicking in the submitter.
+    fn fail_submission(&self, ticket: Option<Ticket>) {
+        let err = Error::Internal("nvme worker pool is gone; request dropped".into());
+        let mut comps = self.shared.completions.lock();
+        match ticket {
+            Some(t) => {
+                comps.insert(t.0, Outcome::Failed(err));
+            }
+            None => self.shared.detached_errors.lock().push(err),
+        }
+        self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        self.shared.done.notify_all();
+    }
+
     fn submit(&self, make: impl FnOnce(Ticket) -> Request) -> Ticket {
         let ticket = Ticket(self.next_ticket.fetch_add(1, Ordering::Relaxed));
         self.shared.note_submit();
-        self.tx
-            .as_ref()
-            .expect("engine not shut down")
-            .send(make(ticket))
-            .expect("worker pool alive");
+        match &self.tx {
+            Some(tx) if tx.send(make(ticket)).is_ok() => {}
+            _ => self.fail_submission(Some(ticket)),
+        }
         ticket
     }
 
@@ -253,11 +275,10 @@ impl NvmeEngine {
     /// the background and any error surfaces at the next [`Self::flush`].
     pub fn submit_write_detached(&self, offset: u64, data: Vec<u8>) {
         self.shared.note_submit();
-        self.tx
-            .as_ref()
-            .expect("engine not shut down")
-            .send(Request::DetachedWrite { offset, data })
-            .expect("worker pool alive");
+        match &self.tx {
+            Some(tx) if tx.send(Request::DetachedWrite { offset, data }).is_ok() => {}
+            _ => self.fail_submission(None),
+        }
     }
 
     /// Submit a bulk batch of reads: `(offset, len)` pairs.

@@ -32,7 +32,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use zi_sync::Mutex;
 use zi_types::{Error, Result};
 
 use crate::backend::StorageBackend;
@@ -393,7 +393,7 @@ impl<B: StorageBackend> StorageBackend for FaultyBackend<B> {
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
         let (verdict, delay) = self.plan.judge_read(buf.len());
         if let Some(d) = delay {
-            std::thread::sleep(d);
+            zi_sync::thread::sleep(d);
         }
         match verdict {
             Verdict::Dead => Err(dead()),
@@ -411,7 +411,7 @@ impl<B: StorageBackend> StorageBackend for FaultyBackend<B> {
     fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
         let (verdict, delay) = self.plan.judge_write(data.len());
         if let Some(d) = delay {
-            std::thread::sleep(d);
+            zi_sync::thread::sleep(d);
         }
         match verdict {
             Verdict::Dead => Err(dead()),

@@ -27,11 +27,11 @@
 //! [`CheckpointStore::drain`] is the durability barrier that surfaces
 //! any background error.
 
-use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
-use parking_lot::{Condvar, Mutex};
+use zi_sync::channel::{unbounded, Sender};
+use zi_sync::thread::JoinHandle;
+use zi_sync::{Condvar, Mutex};
 use zi_types::{Error, Result};
 
 use crate::backend::StorageBackend;
@@ -280,9 +280,9 @@ impl CheckpointStore {
             }),
             cv: Condvar::new(),
         });
-        let (tx, rx) = channel::<Job>();
+        let (tx, rx) = unbounded::<Job>();
         let wcore = Arc::clone(&core);
-        let worker = std::thread::Builder::new()
+        let worker = zi_sync::thread::Builder::new()
             .name("zi-ckpt-store".into())
             .spawn(move || {
                 while let Ok(job) = rx.recv() {
@@ -386,14 +386,17 @@ impl CheckpointStore {
             st.pending += 1;
             st.stats.async_saves += 1;
         }
-        let tx = self.inner.tx.as_ref().expect("writer alive while handles exist");
-        tx.send(Job { rank: rank as u32, version, payload }).map_err(|_| {
+        let sent = match self.inner.tx.as_ref() {
+            Some(tx) => tx.send(Job { rank: rank as u32, version, payload }).is_ok(),
+            None => false,
+        };
+        if !sent {
             // Channel closed: the worker died. Roll back the pending count.
             let mut st = core.state.lock();
             st.pending -= 1;
             core.cv.notify_all();
-            Error::Internal("checkpoint writer thread is gone".into())
-        })?;
+            return Err(Error::Internal("checkpoint writer thread is gone".into()));
+        }
         Ok(())
     }
 

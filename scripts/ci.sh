@@ -7,6 +7,25 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+# Deterministic model checking: rebuild with --cfg zi_check so every
+# zi-sync lock/condvar/channel/atomic routes through the zi-check
+# scheduler, then run the detector's seeded-bug fixtures and the four
+# protocol harnesses (barrier rank-death, engine flush barrier,
+# checkpoint crash recovery, pool checkout/return). Each harness must
+# cover >= 1000 distinct schedules or exhaust its space; failures print
+# a ZI_CHECK_SEED/ZI_CHECK_TRACE replay line. Bounded by a hard
+# wall-clock timeout so a checker bug can never wedge the pipeline.
+timeout --kill-after=10s 600s \
+    env RUSTFLAGS="--cfg zi_check" cargo test -q -p zi-check \
+    || { echo "zi-check model checking failed or timed out (exit $?)"; exit 1; }
+# Undefined-behaviour pass over the unsafe-bearing leaf crates. The
+# pinned offline toolchain does not always ship Miri; skip (loudly)
+# when it is absent rather than failing the gate on tooling.
+if cargo miri --version >/dev/null 2>&1; then
+    cargo miri test -p zi-types -p zi-tensor
+else
+    echo "cargo miri unavailable in this toolchain; skipping UB pass"
+fi
 # Bench smoke: run every engine benchmark body exactly once, untimed
 # (the vendored criterion's --test mode), so bench-only regressions
 # fail CI without paying full measurement time.

@@ -415,7 +415,7 @@ mod tests {
             x in 1u64..100,
             v in crate::collection::vec(0i32..10, 1..4),
         ) {
-            prop_assert!(x >= 1 && x < 100);
+            prop_assert!((1..100).contains(&x));
             prop_assert!(!v.is_empty() && v.len() < 4);
         }
 

@@ -132,7 +132,7 @@ mod tests {
 
     #[test]
     fn small_inputs_run_sequentially_and_correctly() {
-        let mut v = vec![1i64; 17];
+        let mut v = [1i64; 17];
         v.par_chunks_mut(4).for_each(|c| {
             for x in c.iter_mut() {
                 *x *= 2;
@@ -143,9 +143,9 @@ mod tests {
 
     #[test]
     fn zip_chains_compose() {
-        let mut a = vec![1.0f32; 8];
-        let mut m = vec![0.0f32; 8];
-        let g = vec![2.0f32; 8];
+        let mut a = [1.0f32; 8];
+        let mut m = [0.0f32; 8];
+        let g = [2.0f32; 8];
         a.par_iter_mut().zip(m.par_iter_mut().zip(g.par_iter())).for_each(|(p, (mm, gg))| {
             *mm += gg;
             *p += *mm;
