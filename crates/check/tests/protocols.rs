@@ -18,6 +18,7 @@ use zi_comm::{CommConfig, CommFaultPlan, CommGroup};
 use zi_memory::{PinnedBufferPool, ScratchPool};
 use zi_nvme::{CheckpointStore, FaultPlan, FaultyBackend, MemBackend, NvmeEngine, StorageBackend};
 use zi_sync::thread;
+use zi_trace::{Category, Event, Ring};
 use zi_types::Error;
 
 /// Distinct-schedule floor each harness must reach (or exhaust the
@@ -217,4 +218,66 @@ fn pool_checkout_body() {
 #[test]
 fn pools_checkout_return_race_free() {
     run_exhaustive("pool-checkout-return", pool_checkout_body);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol 5: tracer event ring — the SPSC push/drain hand-off.
+//
+// The ring's slots are deliberately unordered `RaceCell`s; only the
+// release-store of `head` (producer) and `tail` (consumer) make slot
+// access safe, so the race detector verifies exactly that protocol.
+//
+// Invariant: with a consumer draining *while* the producer pushes into a
+// deliberately tiny ring, every event is either drained intact or
+// counted as dropped — accepted + dropped == produced, nothing is lost,
+// and no drained slot is torn (every field still matches what the
+// producer derived from the event id).
+
+fn trace_ring_drain_body() {
+    const EVENTS: u64 = 4;
+    const TID: u64 = 7;
+    let ring = Arc::new(Ring::new(TID, 2)); // capacity 2 forces the full-ring drop path
+    let producer_ring = Arc::clone(&ring);
+    let producer = thread::spawn(move || {
+        let mut accepted = 0u64;
+        for i in 0..EVENTS {
+            let ev = Event {
+                cat: Category::NcTransfer,
+                name: "nc.read",
+                start_ns: i,
+                dur_ns: i * 3,
+                bytes: i * 5 + 1,
+                id: i,
+                tid: 0, // push stamps the ring's tid
+            };
+            if producer_ring.push(ev) {
+                accepted += 1;
+            }
+        }
+        accepted
+    });
+    let mut drained = Vec::new();
+    ring.drain_into(&mut drained); // races the producer
+    let accepted = producer.join().expect("producer thread");
+    ring.drain_into(&mut drained); // post-join: collect whatever is left
+    assert!(ring.is_empty(), "a final drain must empty the ring");
+    assert_eq!(drained.len() as u64, accepted, "an accepted event was lost");
+    assert_eq!(accepted + ring.dropped(), EVENTS, "accept/drop bookkeeping leaks events");
+    assert!(accepted >= 2, "a capacity-2 ring accepts at least the first two events");
+    let mut last_id = None;
+    for ev in &drained {
+        let i = ev.id;
+        assert!(last_id.is_none_or(|l| l < i), "events must drain in push order");
+        last_id = Some(i);
+        assert_eq!(
+            (ev.start_ns, ev.dur_ns, ev.bytes, ev.tid),
+            (i, i * 3, i * 5 + 1, TID),
+            "drained slot torn: fields disagree with event id {i}"
+        );
+    }
+}
+
+#[test]
+fn trace_ring_drain_race_free() {
+    run_exhaustive("trace-ring-drain", trace_ring_drain_body);
 }

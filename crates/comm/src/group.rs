@@ -28,6 +28,7 @@ use std::time::Duration;
 
 use zi_sync::time::Instant;
 use zi_sync::{Condvar, Mutex};
+use zi_trace::{Category, Counter, Tracer};
 use zi_types::{Error, Rank, Result, WorldSize};
 
 use crate::fault::{CommFaultPlan, CommVerdict};
@@ -81,6 +82,9 @@ struct Shared {
     traffic: TrafficStats,
     deadline: Duration,
     faults: CommFaultPlan,
+    /// gg-hop spans for every collective, fault-gate events, and
+    /// per-tier byte counters.
+    tracer: Tracer,
 }
 
 impl Shared {
@@ -118,6 +122,12 @@ impl CommGroup {
 
     /// Create a group with an explicit deadline and fault plan.
     pub fn with_config(world: WorldSize, config: CommConfig) -> Self {
+        Self::with_config_tracer(world, config, Tracer::new())
+    }
+
+    /// [`CommGroup::with_config`] recording collective spans and traffic
+    /// counters into an externally owned tracer.
+    pub fn with_config_tracer(world: WorldSize, config: CommConfig, tracer: Tracer) -> Self {
         assert!(world > 0, "world size must be positive");
         CommGroup {
             shared: Arc::new(Shared {
@@ -135,6 +145,7 @@ impl CommGroup {
                 traffic: TrafficStats::default(),
                 deadline: config.deadline,
                 faults: config.faults,
+                tracer,
             }),
         }
     }
@@ -210,12 +221,17 @@ impl Communicator {
         }
         let (verdict, delay) = self.shared.faults.judge(self.rank);
         if let Some(d) = delay {
+            self.shared.tracer.instant(Category::Retry, "comm.delay", 0, self.rank as u64);
             zi_sync::thread::sleep(d);
         }
         match verdict {
             CommVerdict::Proceed => Ok(None),
-            CommVerdict::Corrupt { salt } => Ok(Some(salt)),
+            CommVerdict::Corrupt { salt } => {
+                self.shared.tracer.instant(Category::Retry, "comm.corrupt", 0, self.rank as u64);
+                Ok(Some(salt))
+            }
             CommVerdict::Die => {
+                self.shared.tracer.instant(Category::Retry, "comm.rank_death", 0, self.rank as u64);
                 self.shared.mark_failed(self.rank);
                 Err(rank_failed(self.rank, context))
             }
@@ -279,6 +295,8 @@ impl Communicator {
     /// any slice (ignored) and receive the root's bytes.
     pub fn broadcast_bytes(&self, root: Rank, data: &[u8]) -> Result<Vec<u8>> {
         assert!(root < self.shared.world, "broadcast root out of range");
+        let mut span = self.shared.tracer.span(Category::Allgather, "gg.broadcast");
+        span.set_id(self.rank as u64);
         let corrupt = self.admit("broadcast")?;
         if self.rank == root {
             let mut payload = data.to_vec();
@@ -294,12 +312,16 @@ impl Communicator {
             // Logical ring broadcast: root's payload traverses w-1 links.
             let bytes = out.len() as u64 * (self.shared.world as u64 - 1);
             self.shared.traffic.record(&self.shared.traffic.broadcast_bytes, bytes);
+            span.set_bytes(bytes);
+            self.shared.tracer.count(Counter::GgBytes, bytes);
         }
         Ok(out)
     }
 
     /// Gather every rank's `shard` and concatenate in rank order.
     pub fn allgather_bytes(&self, shard: &[u8]) -> Result<Vec<u8>> {
+        let mut span = self.shared.tracer.span(Category::Allgather, "gg.allgather");
+        span.set_id(self.rank as u64);
         let corrupt = self.admit("allgather")?;
         {
             let mut mine = shard.to_vec();
@@ -322,12 +344,16 @@ impl Communicator {
         // Each rank receives (w-1) shards; count this rank's received bytes.
         let bytes = (out.len() - shard.len()) as u64;
         self.shared.traffic.record(&self.shared.traffic.allgather_bytes, bytes);
+        span.set_bytes(bytes);
+        self.shared.tracer.count(Counter::GgBytes, bytes);
         Ok(out)
     }
 
     /// Element-wise sum of every rank's equal-length `data`, returning this
     /// rank's partition of the reduced vector (per [`partition_range`]).
     pub fn reduce_scatter_sum(&self, data: &[f32]) -> Result<Vec<f32>> {
+        let mut span = self.shared.tracer.span(Category::ReduceScatter, "gg.reduce_scatter");
+        span.set_id(self.rank as u64);
         let corrupt = self.admit("reduce_scatter")?;
         {
             let mut mine = data.to_vec();
@@ -357,12 +383,16 @@ impl Communicator {
         let bytes = (data.len() * 4) as u64 * (self.shared.world as u64 - 1)
             / self.shared.world as u64;
         self.shared.traffic.record(&self.shared.traffic.reduce_scatter_bytes, bytes);
+        span.set_bytes(bytes);
+        self.shared.tracer.count(Counter::RsBytes, bytes);
         Ok(out)
     }
 
     /// Element-wise sum across ranks, leaving the full reduced vector in
     /// `data` on every rank. On error `data` is left unchanged.
     pub fn allreduce_sum(&self, data: &mut [f32]) -> Result<()> {
+        let mut span = self.shared.tracer.span(Category::ReduceScatter, "gg.allreduce");
+        span.set_id(self.rank as u64);
         let corrupt = self.admit("allreduce")?;
         {
             let mut mine = data.to_vec();
@@ -392,6 +422,8 @@ impl Communicator {
         let bytes =
             2 * (data.len() * 4) as u64 * (self.shared.world as u64 - 1) / self.shared.world as u64;
         self.shared.traffic.record(&self.shared.traffic.allreduce_bytes, bytes);
+        span.set_bytes(bytes);
+        self.shared.tracer.count(Counter::RsBytes, bytes);
         Ok(())
     }
 

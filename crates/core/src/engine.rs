@@ -30,6 +30,7 @@ use zi_memory::{Block, ScratchPool};
 use zi_model::{ParamId, ParamRegistry, ParamStore};
 use zi_optim::{adam_update_chunk_publish, AdamConfig, LossScaler};
 use zi_tensor::{FlatBuffer, Tensor};
+use zi_trace::{Category, Counter};
 use zi_types::{DType, Device, DeviceKind, Error, Result};
 
 use crate::config::Strategy;
@@ -357,6 +358,8 @@ impl ZeroEngine {
     /// because some rank saw non-finite gradients (dynamic loss scaling
     /// backoff), `true` if parameters were updated.
     pub fn step(&mut self) -> Result<bool> {
+        let step_tracer = self.mgr.tracer().clone();
+        let _span = step_tracer.span(Category::OptimStep, "optim.step");
         // Global overflow check: any non-finite gradient anywhere skips
         // the step on every rank. The scan itself happened during
         // accumulation (see `ShardState::grad_nonfinite`), so this costs
@@ -599,8 +602,14 @@ impl ParamStore for ZeroEngine {
         // failure here is the OOM that memory-centric tiling exists to
         // avoid (Sec. 5.1.3).
         let bytes = (st.numel * 4) as u64;
+        // The cg hop: the gathered f32 values land in GPU working memory.
+        let mut span = self.mgr.tracer().span(Category::CgTransfer, "cg.upload");
+        span.set_bytes(bytes);
+        span.set_id(id.0 as u64);
         let gpu_block = self.mgr.hierarchy().alloc(self.gpu_device(), bytes)?;
         let tensor = Tensor::from_vec(&st.shape, vals)?;
+        drop(span);
+        self.mgr.tracer().count(Counter::CgBytes, bytes);
         self.resident.insert(id, Resident { tensor: tensor.clone(), refcount: 1, gpu_block });
         self.prefetch_ahead();
         Ok(tensor)
@@ -638,6 +647,10 @@ impl ParamStore for ZeroEngine {
             self.comm.allreduce_sum(&mut full)?;
             self.accumulate_grad(id, &full, false)
         }
+    }
+
+    fn tracer(&self) -> Option<&zi_trace::Tracer> {
+        Some(self.mgr.tracer())
     }
 
     fn hint_upcoming(&mut self, ids: &[ParamId]) {
@@ -730,15 +743,22 @@ fn stream_shard_update(
             if mgr.nvme().in_flight() > 0 {
                 stats.overlapped += 1;
             }
-            adam_update_chunk_publish(
-                adam,
-                step_no,
-                &mut mchunk,
-                &mut m1,
-                &mut m2,
-                &grad_vec[start..start + len],
-                &mut new_master[start..start + len],
-            );
+            {
+                // The compute half of the streamed step: I/O hidden
+                // behind these spans is the pipeline's overlap win.
+                let mut span = mgr.tracer().span(Category::Compute, "adam_chunk");
+                span.set_bytes((len * 4) as u64);
+                span.set_id(start as u64);
+                adam_update_chunk_publish(
+                    adam,
+                    step_no,
+                    &mut mchunk,
+                    &mut m1,
+                    &mut m2,
+                    &grad_vec[start..start + len],
+                    &mut new_master[start..start + len],
+                );
+            }
             wb.submit_elems(
                 mgr,
                 &mut optim.master,

@@ -17,6 +17,7 @@ use zi_comm::{CommConfig, CommGroup};
 use zi_memory::{Block, MemoryHierarchy, NodeMemorySpec, PinnedBufferPool};
 use zi_nvme::{checksum::crc32, FileBackend, MemBackend, NvmeEngine, RetryPolicy, StorageBackend, Ticket};
 use zi_tensor::FlatBuffer;
+use zi_trace::{Counter, Tracer};
 use zi_types::{DType, Device, DeviceKind, Error, Result, WorldSize};
 
 /// Re-reads attempted when a checksum mismatch is detected before the
@@ -115,6 +116,9 @@ pub struct NodeResources {
     pub group: CommGroup,
     /// Shared checksum registry and degradation latch.
     resilience: Arc<ResilienceState>,
+    /// Node-wide tracer; the NVMe engine, pinned pool, comm group and
+    /// every [`OffloadManager`] clone record into the same stream.
+    tracer: Tracer,
 }
 
 /// Default pinned staging buffer size (bytes).
@@ -171,20 +175,52 @@ impl NodeResources {
         policy: RetryPolicy,
         comm: CommConfig,
     ) -> Self {
+        Self::with_backend_policy_comm_tracer(spec, world, backend, policy, comm, Tracer::new())
+    }
+
+    /// [`Self::with_backend_policy_comm`] recording every subsystem's
+    /// spans and counters into an externally owned tracer — the trainer
+    /// passes one tracer here so a whole node (engine workers, pinned
+    /// pool, collectives, all ranks) shares a single event stream.
+    pub fn with_backend_policy_comm_tracer(
+        spec: &NodeMemorySpec,
+        world: WorldSize,
+        backend: Arc<dyn StorageBackend>,
+        policy: RetryPolicy,
+        comm: CommConfig,
+        tracer: Tracer,
+    ) -> Self {
         NodeResources {
             hierarchy: Arc::new(MemoryHierarchy::new(spec)),
-            nvme: Arc::new(NvmeEngine::with_policy(backend, NVME_WORKERS, policy)),
-            pinned: PinnedBufferPool::new(PINNED_BUF_COUNT, PINNED_BUF_BYTES),
-            group: CommGroup::with_config(world, comm),
+            nvme: Arc::new(NvmeEngine::with_policy_tracer(
+                backend,
+                NVME_WORKERS,
+                policy,
+                tracer.clone(),
+            )),
+            pinned: PinnedBufferPool::with_tracer(
+                PINNED_BUF_COUNT,
+                PINNED_BUF_BYTES,
+                tracer.clone(),
+            ),
+            group: CommGroup::with_config_tracer(world, comm, tracer.clone()),
             resilience: Arc::new(ResilienceState::default()),
+            tracer,
         }
+    }
+
+    /// The node-wide tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Start (or force) this node into degraded mode: every NVMe store
     /// is placed on CPU instead. Used when restarting after a device
     /// death — the replacement run must not trust the dead device.
     pub fn degrade(&self) {
-        self.resilience.degraded.store(true, Ordering::Release);
+        if !self.resilience.degraded.swap(true, Ordering::Release) {
+            self.tracer.count(Counter::DegradedTransitions, 1);
+        }
     }
 
     /// A per-rank offload manager handle.
@@ -194,6 +230,7 @@ impl NodeResources {
             nvme: Arc::clone(&self.nvme),
             pinned: self.pinned.clone(),
             resilience: Arc::clone(&self.resilience),
+            tracer: self.tracer.clone(),
         }
     }
 }
@@ -228,6 +265,12 @@ impl DeviceBuf {
     /// Size in bytes.
     pub fn size_in_bytes(&self) -> usize {
         self.dtype.bytes_for(self.numel)
+    }
+
+    /// True when the bytes live on the NVMe device (loading them costs an
+    /// nc-transfer); GPU/CPU buffers resolve from process memory.
+    pub fn is_offloaded(&self) -> bool {
+        self.ram.is_none()
     }
 }
 
@@ -270,6 +313,16 @@ impl PendingLoad {
     pub fn is_async(&self) -> bool {
         self.ticket.is_some()
     }
+
+    /// True once the data is available without blocking: the NVMe read
+    /// completed (successfully or not), or the load was immediate. The
+    /// prefetcher uses this to tell a timely hit from a late one.
+    pub fn ready(&self, mgr: &OffloadManager) -> bool {
+        match &self.ticket {
+            Some((ticket, _, _)) => mgr.nvme.is_ready(*ticket),
+            None => true,
+        }
+    }
 }
 
 /// Handle for storing/loading tensors on any tier.
@@ -279,6 +332,7 @@ pub struct OffloadManager {
     nvme: Arc<NvmeEngine>,
     pinned: PinnedBufferPool,
     resilience: Arc<ResilienceState>,
+    tracer: Tracer,
 }
 
 impl OffloadManager {
@@ -295,6 +349,18 @@ impl OffloadManager {
     /// The pinned staging pool.
     pub fn pinned(&self) -> &PinnedBufferPool {
         &self.pinned
+    }
+
+    /// The node-wide tracer this manager records into.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Latch the degradation flag, counting the first transition.
+    fn latch_degraded(&self) {
+        if !self.resilience.degraded.swap(true, Ordering::Release) {
+            self.tracer.count(Counter::DegradedTransitions, 1);
+        }
     }
 
     /// True once NVMe stores are redirected to CPU — either because a
@@ -321,7 +387,7 @@ impl OffloadManager {
 
     /// Redirect an NVMe store to CPU, counting the failover.
     fn store_failover(&self, data: FlatBuffer) -> Result<DeviceBuf> {
-        self.resilience.degraded.store(true, Ordering::Release);
+        self.latch_degraded();
         self.resilience.failovers.fetch_add(1, Ordering::Relaxed);
         self.store(Device::cpu(), data)
     }
@@ -642,7 +708,7 @@ impl OffloadManager {
     pub fn flush(&self) -> Result<()> {
         match self.nvme.flush() {
             Err(e) if e.is_device_failure() => {
-                self.resilience.degraded.store(true, Ordering::Release);
+                self.latch_degraded();
                 Ok(())
             }
             r => r,
@@ -710,6 +776,8 @@ impl WriteBehind {
             Some(ram) => ram.write_slice(start, data),
             None => {
                 if self.inflight.len() >= self.window {
+                    // Back-pressure: the device is behind the pipeline.
+                    mgr.tracer.count(Counter::WbStalls, 1);
                     let oldest = self.inflight.pop_front().expect("window non-empty");
                     mgr.nvme.wait(oldest)?;
                 }
@@ -1078,6 +1146,7 @@ mod tests {
             pinned: PinnedBufferPool::new(2, 64), // 16 f32 per chunk
             group: CommGroup::new(1),
             resilience: Arc::new(ResilienceState::default()),
+            tracer: Tracer::new(),
         };
         let mgr = node.offload_manager();
         let vals: Vec<f32> = (0..100).map(|i| i as f32).collect();

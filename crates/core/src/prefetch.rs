@@ -16,6 +16,7 @@ use std::collections::HashMap;
 
 use zi_model::ParamId;
 use zi_tensor::FlatBuffer;
+use zi_trace::Counter;
 use zi_types::Result;
 
 use crate::offload::{DeviceBuf, OffloadManager, PendingLoad};
@@ -40,16 +41,26 @@ impl TraceMap {
         self.cur.push(id);
         if self.cursor < self.prev.len() && self.prev[self.cursor] == id {
             self.cursor += 1;
-        } else {
-            // Workflow diverged: re-synchronize by searching forward for
-            // the access we just saw.
-            if let Some(pos) = self.prev[self.cursor.min(self.prev.len())..]
-                .iter()
-                .position(|&p| p == id)
-            {
-                self.cursor = self.cursor + pos + 1;
-            }
+            return;
         }
+        // Workflow diverged: re-synchronize on the access we just saw.
+        // Prefer the nearest occurrence at or ahead of the cursor (the
+        // common skip-forward divergence, and what keeps repeated
+        // ParamIds within one iteration advancing instead of snapping
+        // back to their first occurrence) ...
+        let from = self.cursor.min(self.prev.len());
+        if let Some(pos) = self.prev[from..].iter().position(|&p| p == id) {
+            self.cursor = from + pos + 1;
+        } else if let Some(pos) = self.prev[..from].iter().position(|&p| p == id) {
+            // ... and wrap to the start when the access lies behind the
+            // cursor (a restarted or re-ordered sequence). Leaving the
+            // cursor where it was made `predict_next` keep serving a
+            // window the runner had already passed.
+            self.cursor = pos + 1;
+        }
+        // An id absent from `prev` entirely (a brand-new parameter)
+        // leaves the cursor in place: the rest of the old window is
+        // still the best guess.
     }
 
     /// Predict up to `k` parameter accesses following the current position.
@@ -81,6 +92,13 @@ pub struct PrefetchStats {
     pub hits: u64,
     /// Demand fetches that had to start the load synchronously.
     pub misses: u64,
+    /// Hits whose load had not completed yet when demanded — the
+    /// prefetch was issued too late to fully hide the nc-transfer
+    /// (`late <= hits`).
+    pub late: u64,
+    /// Hints for a parameter whose load was already in flight, folded
+    /// onto the pending read instead of issuing a second one.
+    pub coalesced: u64,
 }
 
 /// Upper bound on simultaneously in-flight prefetch loads. Bounds both
@@ -105,13 +123,28 @@ impl Prefetcher {
     /// in flight. Only asynchronous sources (NVMe) are tracked; loads that
     /// resolve immediately are left for the demand path.
     pub fn prefetch(&mut self, mgr: &OffloadManager, id: ParamId, shard: &DeviceBuf) -> Result<()> {
-        if self.pending.contains_key(&id) || self.pending.len() >= MAX_PENDING {
+        if self.pending.contains_key(&id) {
+            // Coalesce onto the in-flight nc-transfer: a second device
+            // read for the same shard would waste bandwidth and staging,
+            // and would double-count the eventual hit.
+            self.stats.coalesced += 1;
+            mgr.tracer().count(Counter::PrefetchCoalesced, 1);
+            return Ok(());
+        }
+        if self.pending.len() >= MAX_PENDING {
+            return Ok(());
+        }
+        // RAM-resident shards resolve instantly on the demand path;
+        // starting a load here would copy the buffer once per hint just
+        // to discard it (untracked, so every repeated hint paid again).
+        if !shard.is_offloaded() {
             return Ok(());
         }
         let pending = mgr.begin_load(shard)?;
         if pending.is_async() {
             self.pending.insert(id, pending);
             self.stats.issued += 1;
+            mgr.tracer().count(Counter::PrefetchIssued, 1);
         }
         Ok(())
     }
@@ -131,6 +164,13 @@ impl Prefetcher {
     ) -> Result<FlatBuffer> {
         if let Some(pending) = self.pending.remove(&id) {
             self.stats.hits += 1;
+            mgr.tracer().count(Counter::PrefetchHits, 1);
+            if !pending.ready(mgr) {
+                // Still in flight: issued too late to fully hide the
+                // transfer, so the wait below is exposed to compute.
+                self.stats.late += 1;
+                mgr.tracer().count(Counter::PrefetchLate, 1);
+            }
             match pending.wait(mgr) {
                 Ok(buf) => Ok(buf),
                 Err(e) if e.is_transient() => mgr.load(shard),
@@ -138,6 +178,7 @@ impl Prefetcher {
             }
         } else {
             self.stats.misses += 1;
+            mgr.tracer().count(Counter::PrefetchMisses, 1);
             mgr.load(shard)
         }
     }
@@ -207,6 +248,43 @@ mod tests {
     }
 
     #[test]
+    fn trace_cursor_resets_when_the_access_lies_behind() {
+        let mut t = TraceMap::new();
+        for &i in &[0usize, 1, 2, 3, 4] {
+            t.record(ParamId(i));
+        }
+        t.end_iteration();
+        // Jump ahead (skip 0..=2), cursor lands past 3 ...
+        t.record(ParamId(3));
+        assert_eq!(t.predict_next(1), ids(&[4]));
+        // ... then the runner restarts from the top (e.g. a re-run
+        // micro-batch). The old logic found no `0` ahead of the cursor
+        // and left it stale, predicting the already-passed [4].
+        t.record(ParamId(0));
+        assert_eq!(t.predict_next(2), ids(&[1, 2]));
+    }
+
+    #[test]
+    fn repeated_param_ids_advance_past_the_nearest_occurrence() {
+        // A parameter consumed twice per iteration (e.g. tied
+        // embeddings): prev = [0, 1, 0, 2].
+        let mut t = TraceMap::new();
+        for &i in &[0usize, 1, 0, 2] {
+            t.record(ParamId(i));
+        }
+        t.end_iteration();
+        // Start mid-sequence: re-sync onto the occurrence *ahead*, not
+        // the duplicate behind the cursor.
+        t.record(ParamId(1));
+        t.record(ParamId(0));
+        assert_eq!(t.predict_next(2), ids(&[2]));
+        // Diverge to an id only found behind the cursor: wrap around
+        // instead of sticking to a stale position.
+        t.record(ParamId(1));
+        assert_eq!(t.predict_next(2), ids(&[0, 2]));
+    }
+
+    #[test]
     fn empty_trace_predicts_nothing() {
         let t = TraceMap::new();
         assert!(!t.has_history());
@@ -239,6 +317,56 @@ mod tests {
         assert_eq!((st.issued, st.hits, st.misses), (1, 1, 1));
         mgr.free(shard_a);
         mgr.free(shard_b);
+    }
+
+    #[test]
+    fn second_hint_coalesces_onto_the_inflight_load() {
+        use std::sync::Arc;
+        use std::time::Duration;
+        let spec = NodeMemorySpec::test_spec(1, 1 << 20, 1 << 20, 1 << 20);
+        let plan = zi_nvme::FaultPlan::new();
+        let backend = Arc::new(zi_nvme::FaultyBackend::new(zi_nvme::MemBackend::new(), plan.clone()));
+        let node = crate::offload::NodeResources::with_backend(&spec, 1, backend);
+        let mgr = node.offload_manager();
+        let shard = mgr
+            .store(Device::nvme(), FlatBuffer::from_f32(DType::F32, &[6.0; 32]))
+            .unwrap();
+        let reads_before = mgr.nvme().stats().reads;
+
+        // Keep the first nc-transfer in flight while the second hint and
+        // the demand fetch arrive.
+        plan.delay_next_ops(1, Duration::from_millis(100));
+        let mut pf = Prefetcher::new();
+        pf.prefetch(&mgr, ParamId(0), &shard).unwrap();
+        pf.prefetch(&mgr, ParamId(0), &shard).unwrap();
+        let st = pf.stats();
+        assert_eq!((st.issued, st.coalesced), (1, 1));
+
+        let data = pf.fetch(&mgr, ParamId(0), &shard).unwrap();
+        assert_eq!(data.to_f32_vec(), vec![6.0; 32]);
+        let st = pf.stats();
+        // Two hints, one fetch: exactly one hit (late, since the read
+        // was still in flight) and exactly one device read.
+        assert_eq!((st.hits, st.misses, st.late), (1, 0, 1));
+        assert_eq!(mgr.nvme().stats().reads - reads_before, 1);
+        mgr.free(shard);
+    }
+
+    #[test]
+    fn repeated_hints_for_ram_shards_do_not_reissue_loads() {
+        let spec = NodeMemorySpec::test_spec(1, 1 << 20, 1 << 20, 1 << 20);
+        let node = crate::offload::NodeResources::in_memory(&spec, 1);
+        let mgr = node.offload_manager();
+        let shard = mgr
+            .store(Device::cpu(), FlatBuffer::from_f32(DType::F32, &[4.0; 8]))
+            .unwrap();
+        let mut pf = Prefetcher::new();
+        for _ in 0..3 {
+            pf.prefetch(&mgr, ParamId(0), &shard).unwrap();
+        }
+        let st = pf.stats();
+        assert_eq!((st.issued, st.coalesced), (0, 0));
+        mgr.free(shard);
     }
 
     #[test]

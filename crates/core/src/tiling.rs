@@ -12,6 +12,7 @@
 use zi_comm::partition_range;
 use zi_model::{ParamId, ParamRegistry, ParamStore};
 use zi_tensor::{ops, Tensor};
+use zi_trace::Category;
 use zi_types::{Error, Result};
 
 /// A linear layer whose weight is split into `tiles` row groups, each a
@@ -102,10 +103,21 @@ impl TiledLinear {
                 self.in_dim
             )));
         }
+        let tracer = store.tracer().cloned();
         let mut y = Tensor::zeros(&[m, self.out_dim]);
         for (t, &tid) in self.tile_ids.iter().enumerate() {
             let w = store.get(tid)?;
-            let yt = ops::matmul_nt(x, &w)?;
+            let yt = {
+                // Per-tile compute, spanned so the trace shows each
+                // tile's matmul hiding the next tile's fetch.
+                let mut span =
+                    tracer.as_ref().map(|tr| tr.span(Category::Compute, "tile_matmul"));
+                if let Some(s) = &mut span {
+                    s.set_bytes((w.numel() * 4) as u64);
+                    s.set_id(tid.0 as u64);
+                }
+                ops::matmul_nt(x, &w)?
+            };
             let range = partition_range(self.out_dim, self.tiles(), t);
             write_cols(&mut y, &yt, range.start);
             store.release(tid)?;
@@ -129,13 +141,22 @@ impl TiledLinear {
         if mdy != m || out != self.out_dim || k != self.in_dim {
             return Err(Error::shape("tiled linear backward shape mismatch"));
         }
+        let tracer = store.tracer().cloned();
         let mut dx = Tensor::zeros(&[m, self.in_dim]);
         for (t, &tid) in self.tile_ids.iter().enumerate() {
             let range = partition_range(self.out_dim, self.tiles(), t);
             let dyt = slice_cols(dy, range.start, range.end);
             let w = store.get(tid)?;
-            dx.add_assign(&ops::matmul(&dyt, &w)?)?;
-            let dw = ops::matmul_tn(&dyt, x)?;
+            let dw = {
+                let mut span =
+                    tracer.as_ref().map(|tr| tr.span(Category::Compute, "tile_matmul_bwd"));
+                if let Some(s) = &mut span {
+                    s.set_bytes((w.numel() * 4) as u64);
+                    s.set_id(tid.0 as u64);
+                }
+                dx.add_assign(&ops::matmul(&dyt, &w)?)?;
+                ops::matmul_tn(&dyt, x)?
+            };
             store.add_grad(tid, &dw)?;
             store.release(tid)?;
         }

@@ -16,6 +16,7 @@ use zi_model::{DenseStore, GptConfig, GptModel, InMemoryActStore, NoopObserver, 
 use zi_nvme::{CheckpointStore, MemBackend, RetryPolicy, StorageBackend};
 use zi_optim::{AdamConfig, AdamShard, LrSchedule};
 use zi_tensor::Tensor;
+use zi_trace::{Category, Tracer, STEP_SPAN};
 use zi_types::{Error, Result};
 
 use crate::checkpoint::reshard_checkpoint_blobs;
@@ -145,6 +146,10 @@ pub struct TrainEnv {
     /// distinct from `backend`: checkpoints must survive the offload
     /// device dying.
     pub store: Option<CheckpointStore>,
+    /// Tracer the whole session records into — every recovery attempt's
+    /// node, engine workers and rank threads share it, so one trace
+    /// covers the session end to end. `None` provisions a private one.
+    pub tracer: Option<Tracer>,
 }
 
 impl TrainEnv {
@@ -156,6 +161,7 @@ impl TrainEnv {
             policy: RetryPolicy::default(),
             comm_faults: CommFaultPlan::new(),
             store: None,
+            tracer: None,
         }
     }
 }
@@ -318,6 +324,7 @@ pub fn train_gpt_env(spec: &TrainSpec, env: TrainEnv) -> Result<TrainOutcome> {
     if spec.world == 0 {
         return Err(Error::InvalidArgument("world must be at least 1".into()));
     }
+    let tracer = env.tracer.clone().unwrap_or_default();
     let store = match env.store {
         Some(s) => {
             if s.ranks() < spec.world {
@@ -332,7 +339,9 @@ pub fn train_gpt_env(spec: &TrainSpec, env: TrainEnv) -> Result<TrainOutcome> {
         // The default store lives on its own in-memory device, distinct
         // from the offload backend: checkpoints must survive the offload
         // device dying.
-        None => CheckpointStore::new(Arc::new(MemBackend::new()), spec.world, 2)?,
+        None => {
+            CheckpointStore::with_tracer(Arc::new(MemBackend::new()), spec.world, 2, tracer.clone())?
+        }
     };
     let vault = Arc::new(DurableVault { store });
     let mut world = spec.world;
@@ -340,7 +349,7 @@ pub fn train_gpt_env(spec: &TrainSpec, env: TrainEnv) -> Result<TrainOutcome> {
     let mut recoveries = 0usize;
     let mut elastic: Vec<ElasticEvent> = Vec::new();
     loop {
-        let node = Arc::new(NodeResources::with_backend_policy_comm(
+        let node = Arc::new(NodeResources::with_backend_policy_comm_tracer(
             &spec.node,
             world,
             Arc::clone(&env.backend),
@@ -349,6 +358,7 @@ pub fn train_gpt_env(spec: &TrainSpec, env: TrainEnv) -> Result<TrainOutcome> {
                 deadline: spec.collective_deadline,
                 faults: env.comm_faults.clone(),
             },
+            tracer.clone(),
         ));
         if degraded_start {
             node.degrade();
@@ -521,7 +531,13 @@ fn run_rank(
         }
         None => 0,
     };
+    let tracer = node.tracer();
     for step in start_step..spec.steps {
+        // Envelope span delimiting this rank's step for the overlap
+        // report; the real compute spans ("fwdbwd", "adam_chunk") nest
+        // inside it and are counted separately.
+        let mut step_span = tracer.span(Category::Compute, STEP_SPAN);
+        step_span.set_id(step as u64);
         if let Some(sched) = &spec.schedule {
             engine.set_lr(sched.lr_at(step as u64));
         }
@@ -529,24 +545,28 @@ fn run_rank(
         // data is drawn from consecutive virtual steps so accumulated and
         // non-accumulated runs see the same token stream.
         let mut loss = 0.0f32;
-        for micro in 0..spec.grad_accumulation {
-            let data_step = step * spec.grad_accumulation + micro;
-            let (tokens, targets) =
-                synthetic_batch(&spec.model, world * spec.micro_batch, data_step);
-            let lo = rank * rows;
-            let hi = lo + rows;
-            let acts: &mut dyn zi_model::ActivationStore = match &mut cpu_acts {
-                Some(s) => s,
-                None => &mut mem_acts,
-            };
-            loss += model.train_step_full(
-                &mut engine,
-                acts,
-                &tokens[lo..hi],
-                &targets[lo..hi],
-                &opts,
-                &mut NoopObserver,
-            )?;
+        {
+            let mut fwdbwd = tracer.span(Category::Compute, "fwdbwd");
+            fwdbwd.set_id(step as u64);
+            for micro in 0..spec.grad_accumulation {
+                let data_step = step * spec.grad_accumulation + micro;
+                let (tokens, targets) =
+                    synthetic_batch(&spec.model, world * spec.micro_batch, data_step);
+                let lo = rank * rows;
+                let hi = lo + rows;
+                let acts: &mut dyn zi_model::ActivationStore = match &mut cpu_acts {
+                    Some(s) => s,
+                    None => &mut mem_acts,
+                };
+                loss += model.train_step_full(
+                    &mut engine,
+                    acts,
+                    &tokens[lo..hi],
+                    &targets[lo..hi],
+                    &opts,
+                    &mut NoopObserver,
+                )?;
+            }
         }
         let loss = loss / spec.grad_accumulation as f32;
         engine.step()?;

@@ -11,6 +11,7 @@
 use std::sync::Arc;
 
 use zi_sync::{Condvar, Mutex};
+use zi_trace::{Counter, Tracer};
 
 /// A transfer buffer checked out of a [`PinnedBufferPool`].
 ///
@@ -45,11 +46,11 @@ impl Drop for PinnedBuffer {
     }
 }
 
-#[derive(Debug)]
 struct Shared {
     state: Mutex<State>,
     available: Condvar,
     buffer_size: usize,
+    tracer: Tracer,
 }
 
 #[derive(Debug)]
@@ -78,6 +79,12 @@ pub struct PinnedBufferPool {
 impl PinnedBufferPool {
     /// Create `count` buffers of `buffer_size` bytes each.
     pub fn new(count: usize, buffer_size: usize) -> Self {
+        Self::with_tracer(count, buffer_size, Tracer::new())
+    }
+
+    /// [`PinnedBufferPool::new`] recording acquire/contention counters into
+    /// an externally owned tracer.
+    pub fn with_tracer(count: usize, buffer_size: usize, tracer: Tracer) -> Self {
         assert!(count > 0, "pinned pool needs at least one buffer");
         let free = (0..count).map(|_| vec![0u8; buffer_size]).collect();
         PinnedBufferPool {
@@ -85,6 +92,7 @@ impl PinnedBufferPool {
                 state: Mutex::new(State { free, total_acquires: 0, outstanding: 0 }),
                 available: Condvar::new(),
                 buffer_size,
+                tracer,
             }),
             count,
         }
@@ -93,12 +101,18 @@ impl PinnedBufferPool {
     /// Block until a buffer is available and check it out.
     pub fn acquire(&self) -> PinnedBuffer {
         let mut st = self.shared.state.lock();
+        if st.free.is_empty() {
+            // Pinned memory is the scarce resource the engine recycles;
+            // count the stalls so the trace report can show contention.
+            self.shared.tracer.count(Counter::PinnedWaits, 1);
+        }
         while st.free.is_empty() {
             self.shared.available.wait(&mut st);
         }
         let buf = st.free.pop().expect("non-empty after wait");
         st.total_acquires += 1;
         st.outstanding += 1;
+        self.shared.tracer.count(Counter::PinnedAcquires, 1);
         PinnedBuffer { data: Some(buf), pool: Arc::clone(&self.shared) }
     }
 
@@ -108,6 +122,7 @@ impl PinnedBufferPool {
         let buf = st.free.pop()?;
         st.total_acquires += 1;
         st.outstanding += 1;
+        self.shared.tracer.count(Counter::PinnedAcquires, 1);
         Some(PinnedBuffer { data: Some(buf), pool: Arc::clone(&self.shared) })
     }
 

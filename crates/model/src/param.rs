@@ -276,6 +276,13 @@ pub trait ParamStore {
     /// Advance notice that these parameters will be needed soon, in order.
     /// Prefetching stores overlap their fetch with current compute.
     fn hint_upcoming(&mut self, _ids: &[ParamId]) {}
+
+    /// The tracer this store records into, if it traces at all. Module
+    /// code (e.g. tiled operators) uses it to span its compute without
+    /// depending on a concrete store type.
+    fn tracer(&self) -> Option<&zi_trace::Tracer> {
+        None
+    }
 }
 
 /// Baseline store: every parameter fully resident, gradients accumulated

@@ -21,6 +21,7 @@ use zi_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use zi_sync::channel::{unbounded, Sender};
 use zi_sync::thread::JoinHandle;
 use zi_sync::{Condvar, Mutex};
+use zi_trace::{Category, Counter, Tracer};
 use zi_types::{Error, Result};
 
 use crate::backend::StorageBackend;
@@ -81,6 +82,9 @@ struct Shared {
     detached_errors: Mutex<Vec<Error>>,
     /// Latched when any request gives up; later requests fail fast.
     device_failed: AtomicBool,
+    /// Structured tracing: nc-transfer spans for every served request,
+    /// retry/give-up events, per-tier byte counters, in-flight gauge.
+    tracer: Tracer,
 }
 
 impl Shared {
@@ -88,10 +92,18 @@ impl Shared {
     /// in-flight high-water mark.
     fn note_submit(&self) {
         let now = self.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
+        self.tracer.io_inflight_inc();
         let mut st = self.stats.lock();
         if now > st.in_flight_peak {
             st.in_flight_peak = now;
         }
+    }
+
+    /// Undo one submission's in-flight accounting (request completed or
+    /// could not be enqueued).
+    fn note_done(&self) {
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        self.tracer.io_inflight_dec();
     }
 
     /// Run `op` under `policy` with fail-fast once the device is dead,
@@ -119,8 +131,17 @@ impl Shared {
                 st.errors += 1;
             }
         }
+        if report.retries > 0 {
+            self.tracer.count(Counter::Retries, report.retries as u64);
+            self.tracer.instant(Category::Retry, "io.retry", 0, report.retries as u64);
+        }
         if report.gave_up {
-            self.device_failed.store(true, Ordering::Release);
+            // Only the first give-up is a transition; later ones find the
+            // latch already set.
+            if !self.device_failed.swap(true, Ordering::Release) {
+                self.tracer.count(Counter::DegradedTransitions, 1);
+            }
+            self.tracer.instant(Category::Retry, "io.gave_up", 0, 0);
         }
         report.result
     }
@@ -143,11 +164,24 @@ impl NvmeEngine {
         Self::with_policy(backend, num_workers, RetryPolicy::default())
     }
 
-    /// Spawn an engine with an explicit retry policy.
+    /// Spawn an engine with an explicit retry policy and a private
+    /// (always-on) tracer.
     pub fn with_policy(
         backend: Arc<dyn StorageBackend>,
         num_workers: usize,
         policy: RetryPolicy,
+    ) -> Self {
+        Self::with_policy_tracer(backend, num_workers, policy, Tracer::new())
+    }
+
+    /// Spawn an engine recording its nc-transfer spans and I/O counters
+    /// into an externally owned `tracer` (one tracer is typically shared
+    /// by every subsystem of a node).
+    pub fn with_policy_tracer(
+        backend: Arc<dyn StorageBackend>,
+        num_workers: usize,
+        policy: RetryPolicy,
+        tracer: Tracer,
     ) -> Self {
         assert!(num_workers > 0, "engine needs at least one worker");
         let (tx, rx) = unbounded::<Request>();
@@ -158,6 +192,7 @@ impl NvmeEngine {
             stats: Mutex::new(IoStats::default()),
             detached_errors: Mutex::new(Vec::new()),
             device_failed: AtomicBool::new(false),
+            tracer,
         });
         let mut workers = Vec::with_capacity(num_workers);
         for i in 0..num_workers {
@@ -176,7 +211,7 @@ impl NvmeEngine {
                             // and its wait would be a lost wakeup (flush
                             // sleeps forever on an already-drained engine).
                             let _comps = shared.completions.lock();
-                            shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+                            shared.note_done();
                             shared.done.notify_all();
                         }
                     })
@@ -191,8 +226,11 @@ impl NvmeEngine {
         match req {
             Request::DetachedWrite { offset, data } => {
                 let context = format!("detached write {} B at {offset:#x}", data.len());
+                let mut span = shared.tracer.span(Category::NcTransfer, "nc.write_detached");
+                span.set_bytes(data.len() as u64);
                 match shared.execute(policy, &context, || backend.write_at(*offset, data)) {
                     Ok(()) => {
+                        shared.tracer.count(Counter::NcWriteBytes, data.len() as u64);
                         let mut st = shared.stats.lock();
                         st.writes += 1;
                         st.bytes_written += data.len() as u64;
@@ -202,12 +240,16 @@ impl NvmeEngine {
             }
             Request::Read { ticket, offset, len } => {
                 let context = format!("read {len} B at {offset:#x}");
+                let mut span = shared.tracer.span(Category::NcTransfer, "nc.read");
+                span.set_bytes(*len as u64);
+                span.set_id(ticket.0);
                 let outcome = match shared.execute(policy, &context, || {
                     let mut buf = vec![0u8; *len];
                     backend.read_at(*offset, &mut buf)?;
                     Ok(buf)
                 }) {
                     Ok(buf) => {
+                        shared.tracer.count(Counter::NcReadBytes, *len as u64);
                         let mut st = shared.stats.lock();
                         st.reads += 1;
                         st.bytes_read += *len as u64;
@@ -215,13 +257,18 @@ impl NvmeEngine {
                     }
                     Err(e) => Outcome::Failed(e),
                 };
+                drop(span);
                 shared.completions.lock().insert(ticket.0, outcome);
             }
             Request::Write { ticket, offset, data } => {
                 let context = format!("write {} B at {offset:#x}", data.len());
+                let mut span = shared.tracer.span(Category::NcTransfer, "nc.write");
+                span.set_bytes(data.len() as u64);
+                span.set_id(ticket.0);
                 let outcome =
                     match shared.execute(policy, &context, || backend.write_at(*offset, data)) {
                         Ok(()) => {
+                            shared.tracer.count(Counter::NcWriteBytes, data.len() as u64);
                             let mut st = shared.stats.lock();
                             st.writes += 1;
                             st.bytes_written += data.len() as u64;
@@ -229,6 +276,7 @@ impl NvmeEngine {
                         }
                         Err(e) => Outcome::Failed(e),
                     };
+                drop(span);
                 shared.completions.lock().insert(ticket.0, outcome);
             }
         }
@@ -247,7 +295,7 @@ impl NvmeEngine {
             }
             None => self.shared.detached_errors.lock().push(err),
         }
-        self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        self.shared.note_done();
         self.shared.done.notify_all();
     }
 
@@ -286,6 +334,14 @@ impl NvmeEngine {
         requests.iter().map(|&(off, len)| self.submit_read(off, len)).collect()
     }
 
+    /// True once `ticket`'s outcome is waiting to be collected: a
+    /// [`Self::wait`] on it would return without blocking. Used by the
+    /// prefetcher to tell a *timely* hit (transfer already finished at
+    /// demand time) from a *late* one (still in flight).
+    pub fn is_ready(&self, ticket: Ticket) -> bool {
+        self.shared.completions.lock().contains_key(&ticket.0)
+    }
+
     /// Block until `ticket` completes. Reads return `Some(buffer)`, writes
     /// return `None`.
     pub fn wait(&self, ticket: Ticket) -> Result<Option<Vec<u8>>> {
@@ -308,6 +364,9 @@ impl NvmeEngine {
     /// owner's `wait` are left untouched, so concurrent users of a shared
     /// engine are unaffected.
     pub fn flush(&self) -> Result<()> {
+        // An instant, not a span: the barrier's wait is idle time, and a
+        // duration here would pollute the nc hop's busy union.
+        self.shared.tracer.instant(Category::NcTransfer, "nc.flush", 0, 0);
         let mut comps = self.shared.completions.lock();
         while self.shared.in_flight.load(Ordering::Acquire) > 0 {
             self.shared.done.wait(&mut comps);
@@ -347,6 +406,11 @@ impl NvmeEngine {
     /// Number of worker threads.
     pub fn worker_count(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The tracer this engine records into.
+    pub fn tracer(&self) -> &Tracer {
+        &self.shared.tracer
     }
 }
 

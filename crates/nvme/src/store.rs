@@ -83,6 +83,9 @@ struct StoreCore {
     slots_per_rank: u32,
     state: Mutex<CoreState>,
     cv: Condvar,
+    /// Checkpoint-category spans for every save/load, plus payload-byte
+    /// counters.
+    tracer: zi_trace::Tracer,
 }
 
 impl StoreCore {
@@ -171,6 +174,10 @@ impl StoreCore {
                 payload.len()
             )));
         }
+        let mut span = self.tracer.span(zi_trace::Category::Checkpoint, "ckpt.save");
+        span.set_bytes(payload.len() as u64);
+        span.set_id(version);
+        self.tracer.count(zi_trace::Counter::CkptBytes, payload.len() as u64);
         let off = self.slot_offset(cap, rank, self.slot_of(version));
         // 1. Invalidate: whatever version lived here is now officially
         //    gone before one payload byte is overwritten.
@@ -263,6 +270,17 @@ impl CheckpointStore {
         ranks: usize,
         slots_per_rank: usize,
     ) -> Result<Self> {
+        Self::with_tracer(backend, ranks, slots_per_rank, zi_trace::Tracer::new())
+    }
+
+    /// [`CheckpointStore::new`] recording its Checkpoint spans and
+    /// payload counters into an externally owned tracer.
+    pub fn with_tracer(
+        backend: Arc<dyn StorageBackend>,
+        ranks: usize,
+        slots_per_rank: usize,
+        tracer: zi_trace::Tracer,
+    ) -> Result<Self> {
         if ranks == 0 || slots_per_rank == 0 {
             return Err(Error::InvalidArgument(
                 "checkpoint store needs ≥1 rank and ≥1 slot per rank".into(),
@@ -279,6 +297,7 @@ impl CheckpointStore {
                 stats: StoreStats::default(),
             }),
             cv: Condvar::new(),
+            tracer,
         });
         let (tx, rx) = unbounded::<Job>();
         let wcore = Arc::clone(&core);
@@ -425,8 +444,11 @@ impl CheckpointStore {
             )));
         }
         let cap = core.capacity()?;
+        let mut span = core.tracer.span(zi_trace::Category::Checkpoint, "ckpt.load");
+        span.set_id(version);
         match core.read_slot(cap, rank as u32, core.slot_of(version)) {
             Some((v, payload)) if v == version => {
+                span.set_bytes(payload.len() as u64);
                 core.state.lock().stats.loads += 1;
                 Ok(payload)
             }

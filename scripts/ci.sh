@@ -9,9 +9,10 @@ cargo test -q
 cargo clippy --workspace -- -D warnings
 # Deterministic model checking: rebuild with --cfg zi_check so every
 # zi-sync lock/condvar/channel/atomic routes through the zi-check
-# scheduler, then run the detector's seeded-bug fixtures and the four
+# scheduler, then run the detector's seeded-bug fixtures and the five
 # protocol harnesses (barrier rank-death, engine flush barrier,
-# checkpoint crash recovery, pool checkout/return). Each harness must
+# checkpoint crash recovery, pool checkout/return, trace ring drain).
+# Each harness must
 # cover >= 1000 distinct schedules or exhaust its space; failures print
 # a ZI_CHECK_SEED/ZI_CHECK_TRACE replay line. Bounded by a hard
 # wall-clock timeout so a checker bug can never wedge the pipeline.
@@ -39,3 +40,16 @@ cargo bench -p zi-bench --bench engine_bench -- --test
 timeout --kill-after=10s 120s \
     cargo test -q --test chaos -- --ignored \
     || { echo "chaos soak failed or timed out (exit $?)"; exit 1; }
+# Trace stage: run a traced 2-rank 2-step train_gpt sweep through the
+# overlap reporter. trace_report exits nonzero itself when any depth
+# produces an empty overlap report or the exported Chrome-trace JSON
+# fails to re-parse with at least one span per hop (nc/cg/gg), so this
+# stage needs no extra validation beyond the exit code and the two
+# artifacts existing afterwards.
+TRACE_DIR="$(mktemp -d)"
+trap 'rm -rf "$TRACE_DIR"' EXIT
+cargo run -q --release -p zi-bench --bin trace_report -- \
+    "$TRACE_DIR/BENCH_trace_overlap.json" "$TRACE_DIR/trace_train_step.json" \
+    || { echo "trace stage failed: empty report or invalid Chrome trace (exit $?)"; exit 1; }
+test -s "$TRACE_DIR/BENCH_trace_overlap.json" || { echo "trace stage wrote no overlap report"; exit 1; }
+test -s "$TRACE_DIR/trace_train_step.json" || { echo "trace stage wrote no Chrome trace"; exit 1; }
