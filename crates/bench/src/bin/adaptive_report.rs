@@ -1,0 +1,376 @@
+//! Adaptive-controller convergence benchmark.
+//!
+//! From a deliberately bad starting config (sequential optimizer step,
+//! prefetch off, one write-behind slot) the closed-loop controller must
+//! climb to within ~10% of the best hand-tuned static config — on a
+//! simulated NVMe device and on a real file-backed one — and must never
+//! end in a config worse than its starting point (the CI gate).
+//!
+//! Per-config cost is the per-step *median* wall time of a fresh static
+//! run (same methodology as `step_pipeline_report`: medians keep the
+//! comparison stable on shared machines). The adaptive run itself is a
+//! GPT training loop driven step by step through `TelemetryCursor` →
+//! `AdaptiveController` → `ZeroEngine::apply_knobs`, exactly the path
+//! the trainer wires up, and its full decision log plus per-step
+//! trajectory land in `BENCH_adaptive.json` (path overridable as
+//! argv[1]; `--quick` bounds the run for CI).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use zero_infinity::trainer::synthetic_batch;
+use zero_infinity::{NodeResources, Strategy, TelemetryCursor, ZeroEngine};
+use zi_adapt::{AdaptiveController, ControllerConfig, KnobBounds, Knobs};
+use zi_bench::report::{hrow, row, section, write_json_report, Json};
+use zi_memory::NodeMemorySpec;
+use zi_model::{GptConfig, GptModel, InMemoryActStore, NoopObserver, RunOptions};
+use zi_nvme::{FileBackend, MemBackend, StorageBackend, ThrottledBackend};
+use zi_optim::AdamConfig;
+
+/// Throttle both devices to the same NVMe envelope so "simulated" vs
+/// "real-file" differ only in what answers underneath, not in the
+/// bandwidth regime being tuned. The 400 µs access latency sits at the
+/// QD1 end of real NVMe behaviour and makes the overlap knobs' effects
+/// an order of magnitude larger than shared-box timing noise — the
+/// controller is being judged on convergence, not on noise luck.
+const NVME_BYTES_PER_SEC: f64 = 2e9;
+const NVME_LATENCY: Duration = Duration::from_micros(400);
+const CHUNK: usize = 1 << 10;
+
+/// The deliberately bad starting point the controller must escape.
+const START: Knobs = Knobs { step_pipeline_depth: 1, prefetch_window: 0, write_behind: 1 };
+
+#[derive(Clone, Copy)]
+enum BackendKind {
+    Simulated,
+    RealFile,
+}
+
+impl BackendKind {
+    fn name(self) -> &'static str {
+        match self {
+            BackendKind::Simulated => "simulated",
+            BackendKind::RealFile => "real-file",
+        }
+    }
+}
+
+fn model_cfg() -> GptConfig {
+    GptConfig { vocab: 32, hidden: 32, layers: 4, heads: 2, seq: 8, seed: 11 }
+}
+
+fn strategy(knobs: Knobs) -> Strategy {
+    Strategy::infinity_nvme()
+        .with_optimizer_chunk(CHUNK)
+        .with_step_pipeline_depth(knobs.step_pipeline_depth)
+        .with_prefetch_window(knobs.prefetch_window)
+        .with_write_behind(knobs.write_behind)
+}
+
+/// One self-contained training loop: fresh node, model, and engine over
+/// a fresh device of the requested kind.
+struct Rig {
+    node: NodeResources,
+    model: GptModel,
+    engine: ZeroEngine,
+    file: Option<PathBuf>,
+    step: usize,
+}
+
+impl Rig {
+    fn new(kind: BackendKind, knobs: Knobs, tag: &str) -> Rig {
+        let mut file = None;
+        let backend: Arc<dyn StorageBackend> = match kind {
+            BackendKind::Simulated => Arc::new(ThrottledBackend::new(
+                MemBackend::new(),
+                NVME_BYTES_PER_SEC,
+                NVME_LATENCY,
+            )),
+            BackendKind::RealFile => {
+                let path = std::env::temp_dir()
+                    .join(format!("zi_adaptive_report_{}_{tag}.dat", std::process::id()));
+                let backend = Arc::new(ThrottledBackend::new(
+                    FileBackend::create(&path).expect("file-backed nvme"),
+                    NVME_BYTES_PER_SEC,
+                    NVME_LATENCY,
+                ));
+                file = Some(path);
+                backend
+            }
+        };
+        let spec = NodeMemorySpec::test_spec(1, 1 << 24, 1 << 26, 1 << 26);
+        let node = NodeResources::with_backend(&spec, 1, backend);
+        let model = GptModel::new(model_cfg());
+        let engine = ZeroEngine::new(
+            model.registry(),
+            strategy(knobs),
+            node.offload_manager(),
+            node.group.communicator(0),
+            AdamConfig { lr: 0.01, ..Default::default() },
+        )
+        .expect("engine");
+        Rig { node, model, engine, file, step: 0 }
+    }
+
+    /// One full training step (fwd + bwd + optimizer); returns its wall
+    /// time in seconds.
+    fn step(&mut self) -> f64 {
+        let cfg = model_cfg();
+        let (tokens, targets) = synthetic_batch(&cfg, 1, self.step);
+        self.step += 1;
+        let opts = RunOptions { batch: 1, ..Default::default() };
+        let mut acts = InMemoryActStore::new();
+        let start = Instant::now();
+        self.model
+            .train_step_full(&mut self.engine, &mut acts, &tokens, &targets, &opts, &mut NoopObserver)
+            .expect("train step");
+        self.engine.step().expect("optimizer step");
+        start.elapsed().as_secs_f64()
+    }
+}
+
+impl Drop for Rig {
+    fn drop(&mut self) {
+        if let Some(path) = self.file.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    v[v.len() / 2]
+}
+
+/// Per-step median cost of a fresh static run at `knobs`.
+fn measure_static(kind: BackendKind, knobs: Knobs, warmup: usize, measured: usize) -> f64 {
+    let mut rig = Rig::new(kind, knobs, &format!("static_{knobs}").replace([' ', '='], "_"));
+    for _ in 0..warmup {
+        rig.step();
+    }
+    median((0..measured).map(|_| rig.step()).collect())
+}
+
+struct AdaptiveRun {
+    tuned: Knobs,
+    trajectory: Vec<(usize, f64, Knobs)>,
+    decisions: Vec<String>,
+    last_change_step: usize,
+}
+
+/// The closed loop, exactly as the trainer runs it: measure a step,
+/// fold its telemetry into the controller, apply whatever it publishes.
+fn run_adaptive(kind: BackendKind, steps: usize) -> AdaptiveRun {
+    let mut rig = Rig::new(kind, START, "adaptive");
+    let tracer = rig.node.tracer().clone();
+    let mut cursor = TelemetryCursor::new(&tracer);
+    // A wider measure window buys a tighter hysteresis margin: with a
+    // 3-step median per probe the bench can afford to accept 3% moves,
+    // which is where the depth-2 → depth-4 and prefetch gains live on
+    // this cost surface.
+    let cfg = ControllerConfig { measure_steps: 3, hysteresis: 0.03, ..Default::default() };
+    let mut controller = AdaptiveController::new(START, KnobBounds::default(), cfg);
+    let mut trajectory = Vec::with_capacity(steps);
+    let mut last_change_step = 0;
+    for step in 0..steps {
+        let secs = rig.step();
+        trajectory.push((step, secs, controller.knobs()));
+        let sample = cursor.sample(&tracer, step as u64, (secs * 1e9) as u64, false);
+        if let Some(next) = controller.observe(sample) {
+            if next != rig.engine.knobs() {
+                last_change_step = step;
+            }
+            rig.engine.apply_knobs(next);
+        }
+    }
+    AdaptiveRun {
+        tuned: controller.knobs(),
+        trajectory,
+        decisions: controller.log().iter().map(|e| e.to_string()).collect(),
+        last_change_step,
+    }
+}
+
+struct BackendResult {
+    kind: BackendKind,
+    start_ms: f64,
+    statics: Vec<(Knobs, f64)>,
+    best_static: (Knobs, f64),
+    tuned: Knobs,
+    tuned_ms: f64,
+    within_10pct: bool,
+    improved: bool,
+    run: AdaptiveRun,
+}
+
+fn bench_backend(
+    kind: BackendKind,
+    statics: &[Knobs],
+    adaptive_steps: usize,
+    warmup: usize,
+    measured: usize,
+) -> BackendResult {
+    section(&format!("adaptive convergence — {} backend", kind.name()));
+    hrow(&["config", "median step (ms)"]);
+    let mut measured_statics = Vec::with_capacity(statics.len());
+    for &knobs in statics {
+        let ms = measure_static(kind, knobs, warmup, measured) * 1e3;
+        row(&[knobs.to_string(), format!("{ms:.3}")]);
+        measured_statics.push((knobs, ms));
+    }
+    let start_ms = measured_statics[0].1;
+    let best_static = *measured_statics
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite timings"))
+        .expect("at least one static config");
+
+    let run = run_adaptive(kind, adaptive_steps);
+    // Judge the tuned config by the same yardstick as the statics: a
+    // fresh run, not the adaptive run's own (search-polluted) timings.
+    let tuned_ms = measure_static(kind, run.tuned, warmup, measured) * 1e3;
+    row(&[format!("adaptive → {}", run.tuned), format!("{tuned_ms:.3}")]);
+
+    let within_10pct = tuned_ms <= best_static.1 * 1.10;
+    // Small tolerance so timing noise on a shared box cannot fail a
+    // controller that simply held its starting ground.
+    let improved = tuned_ms <= start_ms * 1.05;
+    println!(
+        "{}: start {:.3} ms → tuned {:.3} ms (best static {} at {:.3} ms); \
+         within 10% of best: {}, no worse than start: {}",
+        kind.name(),
+        start_ms,
+        tuned_ms,
+        best_static.0,
+        best_static.1,
+        within_10pct,
+        improved,
+    );
+
+    BackendResult {
+        kind,
+        start_ms,
+        statics: measured_statics,
+        best_static,
+        tuned: run.tuned,
+        tuned_ms,
+        within_10pct,
+        improved,
+        run,
+    }
+}
+
+fn knobs_json(k: Knobs) -> Json {
+    Json::Obj(vec![
+        Json::field("depth", Json::Num(k.step_pipeline_depth as f64)),
+        Json::field("prefetch", Json::Num(k.prefetch_window as f64)),
+        Json::field("write_behind", Json::Num(k.write_behind as f64)),
+    ])
+}
+
+fn backend_json(r: &BackendResult) -> Json {
+    Json::Obj(vec![
+        Json::field("backend", Json::Str(r.kind.name().into())),
+        Json::field("start_knobs", knobs_json(START)),
+        Json::field("start_median_ms", Json::Num(r.start_ms)),
+        Json::field(
+            "statics",
+            Json::Arr(
+                r.statics
+                    .iter()
+                    .map(|(k, ms)| {
+                        Json::Obj(vec![
+                            Json::field("knobs", knobs_json(*k)),
+                            Json::field("median_step_ms", Json::Num(*ms)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        Json::field(
+            "best_static",
+            Json::Obj(vec![
+                Json::field("knobs", knobs_json(r.best_static.0)),
+                Json::field("median_step_ms", Json::Num(r.best_static.1)),
+            ]),
+        ),
+        Json::field("tuned_knobs", knobs_json(r.tuned)),
+        Json::field("tuned_median_ms", Json::Num(r.tuned_ms)),
+        Json::field("within_10pct_of_best_static", Json::Bool(r.within_10pct)),
+        Json::field("no_worse_than_start", Json::Bool(r.improved)),
+        Json::field("last_knob_change_step", Json::Num(r.run.last_change_step as f64)),
+        Json::field(
+            "trajectory",
+            Json::Arr(
+                r.run
+                    .trajectory
+                    .iter()
+                    .map(|(step, secs, k)| {
+                        Json::Obj(vec![
+                            Json::field("step", Json::Num(*step as f64)),
+                            Json::field("step_ms", Json::Num(secs * 1e3)),
+                            Json::field("knobs", knobs_json(*k)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        Json::field(
+            "decisions",
+            Json::Arr(r.run.decisions.iter().map(|d| Json::Str(d.clone())).collect()),
+        ),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_adaptive.json".to_string());
+
+    // Hand-tuned static ladder; the first entry IS the adaptive run's
+    // starting point, so "no worse than start" reuses its measurement.
+    let statics: Vec<Knobs> = if quick {
+        vec![START, Knobs { step_pipeline_depth: 2, prefetch_window: 2, write_behind: 6 }]
+    } else {
+        vec![
+            START,
+            Knobs { step_pipeline_depth: 2, prefetch_window: 2, write_behind: 6 },
+            Knobs { step_pipeline_depth: 4, prefetch_window: 2, write_behind: 12 },
+            Knobs { step_pipeline_depth: 8, prefetch_window: 4, write_behind: 24 },
+        ]
+    };
+    let (adaptive_steps, warmup, measured) = if quick { (24, 1, 5) } else { (96, 2, 9) };
+    let kinds: &[BackendKind] = if quick {
+        &[BackendKind::Simulated]
+    } else {
+        &[BackendKind::Simulated, BackendKind::RealFile]
+    };
+
+    let results: Vec<BackendResult> = kinds
+        .iter()
+        .map(|&k| bench_backend(k, &statics, adaptive_steps, warmup, measured))
+        .collect();
+
+    let pass = results.iter().all(|r| r.improved);
+    let doc = Json::Obj(vec![
+        Json::field("bench", Json::Str("adaptive_convergence".into())),
+        Json::field("quick", Json::Bool(quick)),
+        Json::field("adaptive_steps", Json::Num(adaptive_steps as f64)),
+        Json::field("measured_steps", Json::Num(measured as f64)),
+        Json::field("backends", Json::Arr(results.iter().map(backend_json).collect())),
+        Json::field("all_within_10pct", Json::Bool(results.iter().all(|r| r.within_10pct))),
+        Json::field("pass", Json::Bool(pass)),
+    ]);
+    write_json_report(std::path::Path::new(&out_path), &doc).expect("write json report");
+    println!();
+    println!("wrote {out_path}");
+
+    if !pass {
+        eprintln!("FAIL: the controller ended in a config worse than its starting point");
+        std::process::exit(1);
+    }
+}

@@ -13,6 +13,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use zi_adapt::{KnobCell, Knobs};
 use zi_check::{Checker, Report};
 use zi_comm::{CommConfig, CommFaultPlan, CommGroup};
 use zi_memory::{PinnedBufferPool, ScratchPool};
@@ -280,4 +281,88 @@ fn trace_ring_drain_body() {
 #[test]
 fn trace_ring_drain_race_free() {
     run_exhaustive("trace-ring-drain", trace_ring_drain_body);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol 6: adaptive knob hand-off — controller publish vs. engine
+// poll/wait on the versioned knob cell.
+//
+// Invariant: a reader never observes a torn knob set (all three fields
+// of a publish become visible together), versions are strictly monotone
+// per reader even when intermediate publishes are skipped, and a
+// blocked `wait_past` never misses the wakeup for a publish that races
+// it — the exact hand-off `run_rank` performs between optimizer steps.
+
+fn knob_cell_handoff_body() {
+    // Fields derived from one generator so a torn read (fields from two
+    // different publishes) is detectable by arithmetic alone.
+    fn knobs(v: usize) -> Knobs {
+        Knobs { step_pipeline_depth: v, prefetch_window: 2 * v, write_behind: 3 * v }
+    }
+    fn check(version: u64, k: Knobs) {
+        let v = k.step_pipeline_depth;
+        assert!((1..=3).contains(&v), "version {version}: impossible depth {v}");
+        assert_eq!(
+            (k.prefetch_window, k.write_behind),
+            (2 * v, 3 * v),
+            "torn read at version {version}: {k}"
+        );
+    }
+    let cell = Arc::new(KnobCell::new(knobs(1))); // version 1
+
+    // The controller: two back-to-back retunes.
+    let publisher = {
+        let cell = Arc::clone(&cell);
+        thread::spawn(move || {
+            assert_eq!(cell.publish(knobs(2)), 2, "versions count publishes");
+            assert_eq!(cell.publish(knobs(3)), 3);
+        })
+    };
+    // A polling rank: the non-blocking per-step `read_if_newer` loop,
+    // then a blocking tail so the schedule always ends having seen the
+    // final publish (progress guarantee).
+    let poller = {
+        let cell = Arc::clone(&cell);
+        thread::spawn(move || {
+            let (mut seen, first) = cell.read();
+            check(seen, first);
+            for _ in 0..3 {
+                if let Some((v, k)) = cell.read_if_newer(seen) {
+                    assert!(v > seen, "read_if_newer returned a stale version");
+                    check(v, k);
+                    seen = v;
+                }
+            }
+            while seen < 3 {
+                let (v, k) = cell.wait_past(seen);
+                assert!(v > seen, "wait_past returned a stale version");
+                check(v, k);
+                seen = v;
+            }
+        })
+    };
+    // A purely blocking rank: `wait_past` chained to the end — the
+    // deadlock detector turns any lost wakeup into a failure.
+    let waiter = {
+        let cell = Arc::clone(&cell);
+        thread::spawn(move || {
+            let mut seen = 1u64;
+            while seen < 3 {
+                let (v, k) = cell.wait_past(seen);
+                assert!(v > seen);
+                check(v, k);
+                seen = v;
+            }
+        })
+    };
+    publisher.join().expect("publisher");
+    poller.join().expect("poller");
+    waiter.join().expect("waiter");
+    let (v, k) = cell.read();
+    assert_eq!((v, k), (3, knobs(3)), "the last publish must win");
+}
+
+#[test]
+fn knob_cell_handoff_is_race_free() {
+    run("knob-cell-handoff", knob_cell_handoff_body);
 }

@@ -55,6 +55,12 @@ pub struct Strategy {
     /// at once while earlier chunks update and write back. Depth 1 is the
     /// fully sequential read→update→write loop.
     pub step_pipeline_depth: usize,
+    /// Bound on in-flight write-behind requests during the streamed
+    /// optimizer step. `0` means *auto*: follow the pipeline depth
+    /// (three writes per in-flight chunk). Nonzero values pin the window
+    /// independently of depth — the adaptive controller tunes this to
+    /// keep deferred writes from crowding latency-critical reads.
+    pub write_behind: usize,
 }
 
 impl Strategy {
@@ -71,6 +77,7 @@ impl Strategy {
             prefetch_window: 3,
             optimizer_chunk: usize::MAX,
             step_pipeline_depth: 1,
+            write_behind: 0,
         }
     }
 
@@ -180,6 +187,33 @@ impl Strategy {
     /// Override the dynamic-prefetch look-ahead window.
     pub fn with_prefetch_window(self, window: usize) -> Strategy {
         Strategy { prefetch_window: window, ..self }
+    }
+
+    /// Override the write-behind window (0 = auto: 3 × pipeline depth).
+    pub fn with_write_behind(self, window: usize) -> Strategy {
+        Strategy { write_behind: window, ..self }
+    }
+
+    /// The write-behind bound in force for a given pipeline depth:
+    /// the explicit window, or three writes per in-flight chunk when
+    /// on auto.
+    pub fn write_behind_bound(&self) -> usize {
+        if self.write_behind > 0 {
+            self.write_behind
+        } else {
+            3 * self.step_pipeline_depth.max(1)
+        }
+    }
+
+    /// The live overlap knobs this strategy starts from, as the
+    /// adaptive controller sees them (the write-behind auto rule is
+    /// resolved to its concrete bound).
+    pub fn knobs(&self) -> zi_adapt::Knobs {
+        zi_adapt::Knobs {
+            step_pipeline_depth: self.step_pipeline_depth.max(1),
+            prefetch_window: self.prefetch_window,
+            write_behind: self.write_behind_bound(),
+        }
     }
 }
 

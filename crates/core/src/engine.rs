@@ -418,6 +418,7 @@ impl ZeroEngine {
             let total = grad_vec.len();
             let chunk = self.strategy.optimizer_chunk.min(total.max(1));
             let depth = self.strategy.step_pipeline_depth.max(1);
+            let wb_window = self.strategy.write_behind_bound();
             let mut new_master = vec![0f32; total];
             let st = &mut self.shards[idx];
             st.optim.step += 1;
@@ -429,6 +430,7 @@ impl ZeroEngine {
                 &grad_vec,
                 chunk,
                 depth,
+                wb_window,
                 &mut new_master,
             )?;
             self.stats.optimizer_chunks += streamed.chunks;
@@ -506,6 +508,26 @@ impl ZeroEngine {
     pub fn set_grad_accumulation(&mut self, steps: usize) {
         assert!(steps > 0, "accumulation steps must be positive");
         self.grad_accum_steps = steps as f32;
+    }
+
+    /// Apply live overlap knobs from the adaptive controller. Takes
+    /// effect at the next step/forward — the engine reads its strategy
+    /// afresh each optimizer step (pipeline depth, write-behind bound)
+    /// and each prefetch decision (look-ahead window), and `&mut self`
+    /// guarantees no step is in flight while the fields change. Knob
+    /// changes are numerically invisible by construction: the pipelined
+    /// step is bit-identical to the sequential one at every depth, and
+    /// the prefetcher only warms caches.
+    pub fn apply_knobs(&mut self, knobs: zi_adapt::Knobs) {
+        self.strategy.step_pipeline_depth = knobs.step_pipeline_depth.max(1);
+        self.strategy.prefetch_window = knobs.prefetch_window;
+        self.strategy.write_behind = knobs.write_behind.max(1);
+    }
+
+    /// The overlap knobs currently in force (inverse of
+    /// [`ZeroEngine::apply_knobs`]).
+    pub fn knobs(&self) -> zi_adapt::Knobs {
+        self.strategy.knobs()
     }
 
     /// Read every parameter's optimizer shard out of its tier
@@ -708,13 +730,13 @@ fn stream_shard_update(
     grad_vec: &[f32],
     chunk: usize,
     depth: usize,
+    wb_window: usize,
     new_master: &mut [f32],
 ) -> Result<StreamStats> {
     let total = grad_vec.len();
     let step_no = optim.step;
     let mut stats = StreamStats::default();
-    // Window sized to the pipeline: three writes per in-flight chunk.
-    let mut wb = WriteBehind::new(3 * depth);
+    let mut wb = WriteBehind::new(wb_window);
     let mut pending: VecDeque<(usize, usize, [PendingLoad; 3])> = VecDeque::new();
     let mut issued = 0usize;
 

@@ -775,6 +775,20 @@ impl WriteBehind {
         match &mut buf.ram {
             Some(ram) => ram.write_slice(start, data),
             None => {
+                // Harvest writes that already completed before deciding to
+                // block: FIFO service completes the oldest tickets first,
+                // so reaping from the front retires everything the device
+                // has finished. This keeps the window bound meaningful
+                // (in-flight requests, not unclaimed completions) and
+                // makes the stall counter a true back-pressure signal —
+                // it fires only when the device is genuinely behind.
+                while let Some(&oldest) = self.inflight.front() {
+                    if !mgr.nvme.is_ready(oldest) {
+                        break;
+                    }
+                    self.inflight.pop_front();
+                    mgr.nvme.wait(oldest)?;
+                }
                 if self.inflight.len() >= self.window {
                     // Back-pressure: the device is behind the pipeline.
                     mgr.tracer.count(Counter::WbStalls, 1);

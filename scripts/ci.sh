@@ -53,3 +53,13 @@ cargo run -q --release -p zi-bench --bin trace_report -- \
     || { echo "trace stage failed: empty report or invalid Chrome trace (exit $?)"; exit 1; }
 test -s "$TRACE_DIR/BENCH_trace_overlap.json" || { echo "trace stage wrote no overlap report"; exit 1; }
 test -s "$TRACE_DIR/trace_train_step.json" || { echo "trace stage wrote no Chrome trace"; exit 1; }
+# Adaptive stage: convergence bench in bounded/quick mode (simulated
+# backend, short horizon). adaptive_report exits nonzero when the
+# controller ends in a config worse than its starting point, so the
+# stage needs only the exit code plus the artifact existing. Hard
+# timeout: the loop is bounded by construction, so a wedge is a bug.
+timeout --kill-after=10s 300s \
+    cargo run -q --release -p zi-bench --bin adaptive_report -- \
+    "$TRACE_DIR/BENCH_adaptive.json" --quick \
+    || { echo "adaptive stage failed: controller regressed from its start (exit $?)"; exit 1; }
+test -s "$TRACE_DIR/BENCH_adaptive.json" || { echo "adaptive stage wrote no report"; exit 1; }

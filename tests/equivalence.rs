@@ -28,6 +28,7 @@ fn spec(strategy: Strategy, world: usize, micro: usize) -> TrainSpec {
         checkpoint_every: 0,
         max_recoveries: 0,
         collective_deadline: std::time::Duration::from_secs(30),
+        adaptive: false,
     }
 }
 
