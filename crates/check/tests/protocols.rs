@@ -248,6 +248,7 @@ fn trace_ring_drain_body() {
                 start_ns: i,
                 dur_ns: i * 3,
                 bytes: i * 5 + 1,
+                flops: 0,
                 id: i,
                 tid: 0, // push stamps the ring's tid
             };
@@ -365,4 +366,74 @@ fn knob_cell_handoff_body() {
 #[test]
 fn knob_cell_handoff_is_race_free() {
     run("knob-cell-handoff", knob_cell_handoff_body);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol 7: kernel worker pool — job submission, index claiming and
+// the per-job completion barrier.
+//
+// Invariants: every index of every job runs exactly once (no lost or
+// double-claimed tiles); `run` does not return before all of its
+// indices completed (the completion mutex provides the happens-before
+// edge, so the submitter's reads of task output are race-free); a
+// panicking task still releases the submitter; and pool shutdown never
+// deadlocks against in-flight jobs.
+
+fn kernel_pool_tiling_body() {
+    use zi_tensor::pool::KernelPool;
+
+    let pool = KernelPool::new(2);
+    // Two jobs back-to-back from the same submitter, writing disjoint
+    // slots. Plain (non-atomic) writes: if two tasks ever claimed the
+    // same index, or `run` returned early, the race detector and the
+    // assertions below would fire.
+    let mut out = vec![0u32; 5];
+    {
+        let base = zi_tensor::pool::SendPtr::new(out.as_mut_ptr());
+        pool.run(5, &move |i| {
+            // SAFETY: each index is claimed exactly once, so writes are
+            // disjoint; `run` returns only after all of them finish.
+            unsafe { *base.get().add(i) = i as u32 + 1 };
+        });
+    }
+    assert_eq!(out, vec![1, 2, 3, 4, 5], "job 1: every tile exactly once");
+    {
+        let base = zi_tensor::pool::SendPtr::new(out.as_mut_ptr());
+        pool.run(3, &move |i| {
+            unsafe { *base.get().add(i) += 10 };
+        });
+    }
+    assert_eq!(out, vec![11, 12, 13, 4, 5], "job 2: reuses the same pool");
+    drop(pool); // shutdown must join both workers without deadlock
+}
+
+#[test]
+fn kernel_pool_tiling_is_race_free() {
+    run("kernel-pool-tiling", kernel_pool_tiling_body);
+}
+
+fn kernel_pool_panic_release_body() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use zi_tensor::pool::KernelPool;
+
+    let pool = KernelPool::new(1);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        pool.run(2, &|i| {
+            if i == 1 {
+                panic!("tile panic");
+            }
+        });
+    }));
+    assert!(result.is_err(), "task panic must propagate to the submitter");
+    // The pool must remain serviceable after a panicked job.
+    let counter = zi_sync::atomic::AtomicU32::new(0);
+    pool.run(3, &|_| {
+        counter.fetch_add(1, zi_sync::atomic::Ordering::SeqCst);
+    });
+    assert_eq!(counter.load(zi_sync::atomic::Ordering::SeqCst), 3, "pool usable after panic");
+}
+
+#[test]
+fn kernel_pool_panic_releases_submitter() {
+    run("kernel-pool-panic-release", kernel_pool_panic_release_body);
 }

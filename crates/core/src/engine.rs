@@ -770,6 +770,9 @@ fn stream_shard_update(
                 // behind these spans is the pipeline's overlap win.
                 let mut span = mgr.tracer().span(Category::Compute, "adam_chunk");
                 span.set_bytes((len * 4) as u64);
+                // ~15 scalar flops per element in the Adam recurrence
+                // (moment updates, bias correction, sqrt, update).
+                span.set_flops(15 * len as u64);
                 span.set_id(start as u64);
                 adam_update_chunk_publish(
                     adam,

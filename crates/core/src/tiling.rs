@@ -114,6 +114,8 @@ impl TiledLinear {
                     tracer.as_ref().map(|tr| tr.span(Category::Compute, "tile_matmul"));
                 if let Some(s) = &mut span {
                     s.set_bytes((w.numel() * 4) as u64);
+                    // 2 flops (mul + add) per weight element per input row.
+                    s.set_flops(2 * (w.numel() * m) as u64);
                     s.set_id(tid.0 as u64);
                 }
                 ops::matmul_nt(x, &w)?
@@ -152,6 +154,8 @@ impl TiledLinear {
                     tracer.as_ref().map(|tr| tr.span(Category::Compute, "tile_matmul_bwd"));
                 if let Some(s) = &mut span {
                     s.set_bytes((w.numel() * 4) as u64);
+                    // dx and dw matmuls: 2 * 2 flops per weight element per row.
+                    s.set_flops(4 * (w.numel() * m) as u64);
                     s.set_id(tid.0 as u64);
                 }
                 dx.add_assign(&ops::matmul(&dyt, &w)?)?;

@@ -815,7 +815,13 @@ mod tests {
                 );
             }
             let diff = max_param_diff(&out.final_params, &base_params);
-            assert!(diff < 1e-4, "{}: max param diff {diff}", strategy.name);
+            // Dense batch-N and micro-batched data-parallel runs average
+            // the loss and reduce gradients in different orders, so after
+            // a few Adam steps the params differ by amplified roundoff
+            // (observed ~9e-5 with purely sequential kernels, ~2e-4 with
+            // the SIMD lane-tree reductions). The bound guards against
+            // real divergence, not accumulation-order noise.
+            assert!(diff < 5e-4, "{}: max param diff {diff}", strategy.name);
         }
     }
 

@@ -1,6 +1,12 @@
 //! Adam with fp32 master weights, monolithic or chunked.
+//!
+//! The elementwise update runs through the runtime-dispatched SIMD
+//! layer in `zi-tensor` (`ZI_SIMD=scalar` forces the canonical scalar
+//! backend; all backends are bit-identical) and large chunks are split
+//! across the `zi-sync`-based kernel worker pool.
 
-use rayon::prelude::*;
+use zi_tensor::pool::{self, SendPtr};
+use zi_tensor::simd::{self, AdamParams};
 use zi_tensor::FlatBuffer;
 use zi_types::{DType, Error, Result};
 
@@ -25,8 +31,63 @@ impl Default for AdamConfig {
     }
 }
 
-/// Minimum elements per rayon task for the parallel update path.
+/// Minimum elements per worker-pool task for the parallel update path.
 const PAR_CHUNK: usize = 16 * 1024;
+
+/// Fold a config + step into the per-chunk SIMD kernel parameters.
+#[inline]
+fn kernel_params(cfg: &AdamConfig, step: u64) -> AdamParams {
+    let (bc1, bc2) = bias_corrections(cfg, step);
+    AdamParams {
+        beta1: cfg.beta1,
+        beta2: cfg.beta2,
+        one_minus_beta1: 1.0 - cfg.beta1,
+        one_minus_beta2: 1.0 - cfg.beta2,
+        bc1,
+        bc2,
+        lr: cfg.lr,
+        eps: cfg.eps,
+        weight_decay: cfg.weight_decay,
+    }
+}
+
+/// Shared body of the plain and publish-fused kernels: run the SIMD
+/// Adam chunk update, split across the kernel pool when large enough.
+/// Adam is elementwise, so any split is bit-identical to monolithic.
+fn run_adam(
+    p: AdamParams,
+    master: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    grad: &[f32],
+    publish: Option<&mut [f32]>,
+) {
+    let n = master.len();
+    let tasks = n.div_ceil(PAR_CHUNK.max(1));
+    if tasks < 2 || pool::global().workers() == 0 {
+        simd::adam_chunk(&p, master, m, v, grad, publish);
+        return;
+    }
+    let mp = SendPtr::new(master.as_mut_ptr());
+    let mmp = SendPtr::new(m.as_mut_ptr());
+    let vp = SendPtr::new(v.as_mut_ptr());
+    let gp = SendPtr::new(grad.as_ptr() as *mut f32);
+    let pubp = publish.map(|s| SendPtr::new(s.as_mut_ptr()));
+    pool::global().run(tasks, &move |i| {
+        let start = i * PAR_CHUNK;
+        let len = PAR_CHUNK.min(n - start);
+        // SAFETY: task indices are distinct so the [start, start+len)
+        // ranges are disjoint; the exclusive borrows outlive run().
+        unsafe {
+            let master = std::slice::from_raw_parts_mut(mp.get().add(start), len);
+            let m = std::slice::from_raw_parts_mut(mmp.get().add(start), len);
+            let v = std::slice::from_raw_parts_mut(vp.get().add(start), len);
+            let grad = std::slice::from_raw_parts(gp.get().add(start), len);
+            let publish = pubp.map(|pp| std::slice::from_raw_parts_mut(pp.get().add(start), len));
+            simd::adam_chunk(&p, master, m, v, grad, publish);
+        }
+    });
+}
 
 /// Elementwise Adam update of one contiguous chunk of optimizer state.
 ///
@@ -47,19 +108,7 @@ pub fn adam_update_chunk(
         master.len() == m.len() && m.len() == v.len() && v.len() == grad.len(),
         "adam_update_chunk length mismatch"
     );
-    let (bc1, bc2) = bias_corrections(cfg, step);
-    let update = |((p, mm), (vv, g)): ((&mut f32, &mut f32), (&mut f32, &f32))| {
-        update_one(cfg, bc1, bc2, p, mm, vv, *g);
-    };
-    if master.len() >= PAR_CHUNK {
-        master
-            .par_iter_mut()
-            .zip(m.par_iter_mut())
-            .zip(v.par_iter_mut().zip(grad.par_iter()))
-            .for_each(update);
-    } else {
-        master.iter_mut().zip(m.iter_mut()).zip(v.iter_mut().zip(grad.iter())).for_each(update);
-    }
+    run_adam(kernel_params(cfg, step), master, m, v, grad, None);
 }
 
 /// [`adam_update_chunk`] fused with publication: the updated master value
@@ -82,44 +131,13 @@ pub fn adam_update_chunk_publish(
             && grad.len() == publish.len(),
         "adam_update_chunk_publish length mismatch"
     );
-    let (bc1, bc2) = bias_corrections(cfg, step);
-    #[allow(clippy::type_complexity)]
-    let update = |(((p, mm), (vv, g)), out): (((&mut f32, &mut f32), (&mut f32, &f32)), &mut f32)| {
-        update_one(cfg, bc1, bc2, p, mm, vv, *g);
-        *out = *p;
-    };
-    if master.len() >= PAR_CHUNK {
-        master
-            .par_iter_mut()
-            .zip(m.par_iter_mut())
-            .zip(v.par_iter_mut().zip(grad.par_iter()))
-            .zip(publish.par_iter_mut())
-            .for_each(update);
-    } else {
-        master
-            .iter_mut()
-            .zip(m.iter_mut())
-            .zip(v.iter_mut().zip(grad.iter()))
-            .zip(publish.iter_mut())
-            .for_each(update);
-    }
+    run_adam(kernel_params(cfg, step), master, m, v, grad, Some(publish));
 }
 
 /// Bias-correction denominators shared by every chunk of one step.
 #[inline]
 fn bias_corrections(cfg: &AdamConfig, step: u64) -> (f32, f32) {
     (1.0 - cfg.beta1.powi(step as i32), 1.0 - cfg.beta2.powi(step as i32))
-}
-
-/// One element of the Adam recurrence; the single source of the update
-/// math for both the plain and the publish-fused chunk kernels.
-#[inline]
-fn update_one(cfg: &AdamConfig, bc1: f32, bc2: f32, p: &mut f32, m: &mut f32, v: &mut f32, g: f32) {
-    *m = cfg.beta1 * *m + (1.0 - cfg.beta1) * g;
-    *v = cfg.beta2 * *v + (1.0 - cfg.beta2) * g * g;
-    let mhat = *m / bc1;
-    let vhat = *v / bc2;
-    *p -= cfg.lr * (mhat / (vhat.sqrt() + cfg.eps) + cfg.weight_decay * *p);
 }
 
 /// Optimizer state for one parameter shard: fp32 master copy, momentum and
@@ -343,7 +361,7 @@ mod tests {
     #[test]
     fn parallel_path_matches_sequential() {
         let cfg = AdamConfig::default();
-        let n = PAR_CHUNK + 100; // force the rayon path
+        let n = PAR_CHUNK + 100; // force the pool path
         let init: Vec<f32> = (0..n).map(|i| (i % 13) as f32 * 0.1).collect();
         let g = grads(n, 5);
         let mut par = AdamShard::new(&init);

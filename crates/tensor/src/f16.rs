@@ -133,19 +133,18 @@ impl From<F16> for f32 {
 }
 
 /// Convert a slice of f32 into half-precision bit patterns.
+///
+/// Dispatches to the SIMD backend selected by [`crate::simd::backend`];
+/// every backend is bit-identical to [`F16::from_f32`].
 pub fn f32_slice_to_f16(src: &[f32], dst: &mut [F16]) {
-    assert_eq!(src.len(), dst.len(), "f32→f16 length mismatch");
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d = F16::from_f32(*s);
-    }
+    crate::simd::f32_to_f16_slice(src, dst);
 }
 
-/// Convert a slice of half-precision values into f32.
+/// Convert a slice of half-precision values into f32 (exact).
+///
+/// Dispatches to the SIMD backend selected by [`crate::simd::backend`].
 pub fn f16_slice_to_f32(src: &[F16], dst: &mut [f32]) {
-    assert_eq!(src.len(), dst.len(), "f16→f32 length mismatch");
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d = s.to_f32();
-    }
+    crate::simd::f16_to_f32_slice(src, dst);
 }
 
 #[cfg(test)]

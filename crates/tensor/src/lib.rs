@@ -12,9 +12,15 @@
 //! persistent model states are stored in [`FlatBuffer`]s whose dtype is
 //! chosen by the mixed-precision recipe (fp16 params/grads, fp32 optimizer
 //! states).
+//!
+//! Kernel inner loops run through the runtime-dispatched [`simd`] layer
+//! (AVX2/NEON with a bit-identical scalar fallback) and are tiled across
+//! the bounded [`pool`] worker pool built on `zi-sync` primitives.
 
 pub mod f16;
 pub mod ops;
+pub mod pool;
+pub mod simd;
 pub mod storage;
 pub mod tensor;
 

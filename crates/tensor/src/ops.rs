@@ -1,24 +1,78 @@
 //! Compute kernels for a GPT-like transformer.
 //!
-//! These are the "CUDA kernels" of the reproduction: straightforward,
-//! cache-friendly f32 implementations parallelized with rayon. Each forward
-//! kernel has a matching hand-derived backward.
+//! These are the "CUDA kernels" of the reproduction. The inner loops
+//! are vectorized through the runtime-dispatched [`crate::simd`] layer
+//! (AVX2/NEON with a canonical scalar fallback — see DESIGN.md §11),
+//! and large kernels are tiled across the bounded [`crate::pool`]
+//! worker pool built on `zi-sync` primitives, so the scheduling is
+//! model-checkable under `zi-check`. Each forward kernel has a matching
+//! hand-derived backward. All backends produce bit-identical results by
+//! construction; `ZI_SIMD=scalar` forces the fallback for debugging.
 
-use rayon::prelude::*;
 use zi_types::{Error, Result};
 
+use crate::pool;
+use crate::simd;
 use crate::tensor::Tensor;
 
-/// Threshold below which matmuls run sequentially (rayon overhead dominates
-/// for the tiny models used in tests).
+/// Threshold below which matmuls run sequentially (pool scheduling
+/// overhead dominates for the tiny models used in tests).
 const PAR_FLOP_THRESHOLD: usize = 1 << 18;
 
-/// Cache-block edge (elements) for the blocked matmul kernel.
+/// Cache-block edge (elements) for the blocked matmul kernel. Must stay
+/// a multiple of 4 so the axpy4 register-block grouping is identical in
+/// the full-k and k-panelled paths (keeps them bit-identical).
 const MM_BLOCK: usize = 64;
+
+/// Elementwise kernels (gelu) go parallel above this element count.
+const ELEMWISE_PAR_THRESHOLD: usize = 1 << 15;
+
+/// Chunk size (elements) for parallel elementwise kernels.
+const ELEMWISE_CHUNK: usize = 1 << 13;
+
+/// Rows per pool task for the parallel layernorm forward.
+const LN_ROWS_PER_TASK: usize = 8;
+
+/// The one shared dispatch predicate for all four matmul variants:
+/// go parallel when the FLOP volume `m·k·n` clears the threshold.
+#[inline]
+fn mm_parallel(m: usize, k: usize, n: usize) -> bool {
+    m.saturating_mul(k).saturating_mul(n) >= PAR_FLOP_THRESHOLD
+}
+
+/// Accumulate `out_row += Σ_kk a_row[kk] · B[k0+kk, :]` with the
+/// register-blocked axpy4 microkernel (4 k-steps per traversal of the
+/// output row), falling back to single axpys for the k remainder.
+///
+/// The k-grouping starts at `k0`, so as long as callers panel `k` in
+/// multiples of 4 (see [`MM_BLOCK`]) the per-element accumulation order
+/// is identical to an un-panelled pass — dense inputs take a fixed,
+/// data-independent FLOP count (no zero-skip branches; see DESIGN.md §11
+/// for the before/after bench).
+#[inline]
+fn mm_panel(a_row: &[f32], b: &[f32], k0: usize, n: usize, out_row: &mut [f32]) {
+    let mut kk = 0;
+    while kk + 4 <= a_row.len() {
+        let r0 = &b[(k0 + kk) * n..(k0 + kk) * n + n];
+        let r1 = &b[(k0 + kk + 1) * n..(k0 + kk + 1) * n + n];
+        let r2 = &b[(k0 + kk + 2) * n..(k0 + kk + 2) * n + n];
+        let r3 = &b[(k0 + kk + 3) * n..(k0 + kk + 3) * n + n];
+        simd::axpy4(
+            out_row,
+            [a_row[kk], a_row[kk + 1], a_row[kk + 2], a_row[kk + 3]],
+            [r0, r1, r2, r3],
+        );
+        kk += 4;
+    }
+    while kk < a_row.len() {
+        simd::axpy(out_row, a_row[kk], &b[(k0 + kk) * n..(k0 + kk) * n + n]);
+        kk += 1;
+    }
+}
 
 /// `C[m,n] = A[m,k] * B[k,n]`.
 ///
-/// Dispatches to a cache-blocked, rayon-parallel kernel for large
+/// Dispatches to the cache-blocked, pool-parallel kernel for large
 /// problems and a simple row kernel for small ones.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, ka) = a.as_2d();
@@ -26,29 +80,20 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     if ka != kb {
         return Err(Error::shape(format!("matmul inner dims {ka} vs {kb}")));
     }
-    if m * ka * n >= PAR_FLOP_THRESHOLD {
+    if mm_parallel(m, ka, n) {
         return matmul_blocked(a, b);
     }
     let mut out = vec![0f32; m * n];
-    let body = |(row, out_row): (usize, &mut [f32])| {
+    for (row, out_row) in out.chunks_mut(n).enumerate() {
         let a_row = &a.data()[row * ka..(row + 1) * ka];
-        for (kk, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &b.data()[kk * n..(kk + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
-        }
-    };
-    out.chunks_mut(n).enumerate().for_each(body);
+        mm_panel(a_row, b.data(), 0, n, out_row);
+    }
     Tensor::from_vec(&[m, n], out)
 }
 
-/// Cache-blocked `C[m,n] = A[m,k] * B[k,n]`: row-block parallelism across
-/// rayon workers, k-blocking to keep the active slice of `B` in cache,
-/// and a unit-stride inner loop over `n` the compiler can vectorize.
+/// Cache-blocked `C[m,n] = A[m,k] * B[k,n]`: row-block parallelism
+/// across the kernel pool, k-blocking to keep the active slice of `B`
+/// in cache, and the unit-stride axpy4 SIMD microkernel over `n`.
 pub fn matmul_blocked(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, ka) = a.as_2d();
     let (kb, n) = b.as_2d();
@@ -56,24 +101,17 @@ pub fn matmul_blocked(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         return Err(Error::shape(format!("matmul_blocked inner dims {ka} vs {kb}")));
     }
     let mut out = vec![0f32; m * n];
-    out.par_chunks_mut(MM_BLOCK * n).enumerate().for_each(|(bi, out_block)| {
+    let adata = a.data();
+    let bdata = b.data();
+    pool::for_chunks(&mut out, MM_BLOCK * n, mm_parallel(m, ka, n), |bi, out_block| {
         let i0 = bi * MM_BLOCK;
         let rows = out_block.len() / n;
         let mut k0 = 0;
         while k0 < ka {
             let kend = (k0 + MM_BLOCK).min(ka);
             for i in 0..rows {
-                let a_row = &a.data()[(i0 + i) * ka + k0..(i0 + i) * ka + kend];
-                let out_row = &mut out_block[i * n..(i + 1) * n];
-                for (kk, &av) in a_row.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let b_row = &b.data()[(k0 + kk) * n..(k0 + kk + 1) * n];
-                    for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                        *o += av * bv;
-                    }
-                }
+                let a_row = &adata[(i0 + i) * ka + k0..(i0 + i) * ka + kend];
+                mm_panel(a_row, bdata, k0, n, &mut out_block[i * n..(i + 1) * n]);
             }
             k0 = kend;
         }
@@ -83,7 +121,9 @@ pub fn matmul_blocked(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 
 /// `C[m,n] = A[m,k] * B[n,k]^T` (B stored row-major as `[n,k]`).
 ///
-/// This is the PyTorch `Linear` convention: `y = x W^T`.
+/// This is the PyTorch `Linear` convention: `y = x W^T`. Both operands
+/// are traversed unit-stride, so each output element is a SIMD dot
+/// product; four output columns share each load of the `A` row.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, ka) = a.as_2d();
     let (n, kb) = b.as_2d();
@@ -91,22 +131,25 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         return Err(Error::shape(format!("matmul_nt inner dims {ka} vs {kb}")));
     }
     let mut out = vec![0f32; m * n];
-    let body = |(row, out_row): (usize, &mut [f32])| {
-        let a_row = &a.data()[row * ka..(row + 1) * ka];
-        for (col, o) in out_row.iter_mut().enumerate() {
-            let b_row = &b.data()[col * ka..(col + 1) * ka];
-            let mut acc = 0f32;
-            for (&x, &w) in a_row.iter().zip(b_row) {
-                acc += x * w;
-            }
-            *o = acc;
+    let adata = a.data();
+    let bdata = b.data();
+    pool::for_chunks(&mut out, n, mm_parallel(m, ka, n), |row, out_row| {
+        let a_row = &adata[row * ka..(row + 1) * ka];
+        let mut col = 0;
+        while col + 4 <= n {
+            let w0 = &bdata[col * ka..(col + 1) * ka];
+            let w1 = &bdata[(col + 1) * ka..(col + 2) * ka];
+            let w2 = &bdata[(col + 2) * ka..(col + 3) * ka];
+            let w3 = &bdata[(col + 3) * ka..(col + 4) * ka];
+            let d = simd::dot4(a_row, [w0, w1, w2, w3]);
+            out_row[col..col + 4].copy_from_slice(&d);
+            col += 4;
         }
-    };
-    if m * ka * n >= PAR_FLOP_THRESHOLD {
-        out.par_chunks_mut(n).enumerate().for_each(body);
-    } else {
-        out.chunks_mut(n).enumerate().for_each(body);
-    }
+        while col < n {
+            out_row[col] = simd::dot(a_row, &bdata[col * ka..(col + 1) * ka]);
+            col += 1;
+        }
+    });
     Tensor::from_vec(&[m, n], out)
 }
 
@@ -118,25 +161,31 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Result<Tensor> {
         return Err(Error::shape(format!("matmul_tn outer dims {m} vs {mb}")));
     }
     let mut out = vec![0f32; k * n];
-    // Parallelize over output rows (k); each output row gathers column `row`
-    // of A against all of B.
-    let body = |(row, out_row): (usize, &mut [f32])| {
-        for i in 0..m {
-            let av = a.data()[i * k + row];
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &b.data()[i * n..(i + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
+    let adata = a.data();
+    let bdata = b.data();
+    // Parallelize over output rows (k); each output row gathers column
+    // `row` of A against all of B with the axpy4 microkernel.
+    pool::for_chunks(&mut out, n, mm_parallel(m, k, n), |row, out_row| {
+        let mut i = 0;
+        while i + 4 <= m {
+            let av = [
+                adata[i * k + row],
+                adata[(i + 1) * k + row],
+                adata[(i + 2) * k + row],
+                adata[(i + 3) * k + row],
+            ];
+            let r0 = &bdata[i * n..(i + 1) * n];
+            let r1 = &bdata[(i + 1) * n..(i + 2) * n];
+            let r2 = &bdata[(i + 2) * n..(i + 3) * n];
+            let r3 = &bdata[(i + 3) * n..(i + 4) * n];
+            simd::axpy4(out_row, av, [r0, r1, r2, r3]);
+            i += 4;
         }
-    };
-    if m * k * n >= PAR_FLOP_THRESHOLD {
-        out.par_chunks_mut(n).enumerate().for_each(body);
-    } else {
-        out.chunks_mut(n).enumerate().for_each(body);
-    }
+        while i < m {
+            simd::axpy(out_row, adata[i * k + row], &bdata[i * n..(i + 1) * n]);
+            i += 1;
+        }
+    });
     Tensor::from_vec(&[k, n], out)
 }
 
@@ -167,25 +216,34 @@ pub fn column_sums(x: &Tensor) -> Vec<f32> {
 }
 
 /// tanh-approximation GELU, the activation used by GPT models.
+///
+/// Delegates to the canonical polynomial kernel, so one element through
+/// here is bit-identical to the same element through the vectorized
+/// [`gelu`] on any backend.
 #[inline]
 pub fn gelu_scalar(x: f32) -> f32 {
-    const C: f32 = 0.797_884_6; // sqrt(2/pi)
-    0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh())
+    simd::scalar::gelu_one(x)
 }
 
 /// Derivative of [`gelu_scalar`].
 #[inline]
 pub fn gelu_grad_scalar(x: f32) -> f32 {
-    const C: f32 = 0.797_884_6;
-    let inner = C * (x + 0.044715 * x * x * x);
-    let t = inner.tanh();
-    let dinner = C * (1.0 + 3.0 * 0.044715 * x * x);
-    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * dinner
+    simd::scalar::gelu_grad_one(x)
 }
 
 /// Elementwise GELU forward.
 pub fn gelu(x: &Tensor) -> Tensor {
-    let data = x.data().iter().map(|&v| gelu_scalar(v)).collect();
+    let xd = x.data();
+    let mut data = vec![0f32; xd.len()];
+    pool::for_chunks(
+        &mut data,
+        ELEMWISE_CHUNK,
+        xd.len() >= ELEMWISE_PAR_THRESHOLD,
+        |i, out_chunk| {
+            let start = i * ELEMWISE_CHUNK;
+            simd::gelu_slice(&xd[start..start + out_chunk.len()], out_chunk);
+        },
+    );
     Tensor::from_vec(x.shape(), data).expect("same shape")
 }
 
@@ -194,12 +252,19 @@ pub fn gelu_backward(x: &Tensor, dy: &Tensor) -> Result<Tensor> {
     if x.shape() != dy.shape() {
         return Err(Error::shape("gelu_backward shape mismatch"));
     }
-    let data = x
-        .data()
-        .iter()
-        .zip(dy.data())
-        .map(|(&v, &g)| g * gelu_grad_scalar(v))
-        .collect();
+    let xd = x.data();
+    let dyd = dy.data();
+    let mut data = vec![0f32; xd.len()];
+    pool::for_chunks(
+        &mut data,
+        ELEMWISE_CHUNK,
+        xd.len() >= ELEMWISE_PAR_THRESHOLD,
+        |i, out_chunk| {
+            let start = i * ELEMWISE_CHUNK;
+            let end = start + out_chunk.len();
+            simd::gelu_grad_slice(&xd[start..end], &dyd[start..end], out_chunk);
+        },
+    );
     Tensor::from_vec(x.shape(), data)
 }
 
@@ -230,24 +295,34 @@ pub fn layernorm(
     let mut out = vec![0f32; rows * n];
     let mut mean = vec![0f32; rows];
     let mut rstd = vec![0f32; rows];
-    for (r, (row_in, row_out)) in
-        x.data().chunks_exact(n).zip(out.chunks_exact_mut(n)).enumerate()
-    {
-        let m = row_in.iter().sum::<f32>() / n as f32;
-        let var = row_in.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / n as f32;
-        let rs = 1.0 / (var + eps).sqrt();
-        mean[r] = m;
-        rstd[r] = rs;
-        for ((o, &v), (&g, &b)) in
-            row_out.iter_mut().zip(row_in).zip(gamma.iter().zip(beta.iter()))
-        {
-            *o = (v - m) * rs * g + b;
-        }
-    }
+    let xd = x.data();
+    let mean_ptr = pool::SendPtr::new(mean.as_mut_ptr());
+    let rstd_ptr = pool::SendPtr::new(rstd.as_mut_ptr());
+    pool::for_chunks(
+        &mut out,
+        LN_ROWS_PER_TASK * n,
+        rows * n >= ELEMWISE_PAR_THRESHOLD,
+        |task, out_block| {
+            let r0 = task * LN_ROWS_PER_TASK;
+            for (i, row_out) in out_block.chunks_exact_mut(n).enumerate() {
+                let r = r0 + i;
+                let (m, rs) = simd::layernorm_row(&xd[r * n..(r + 1) * n], gamma, beta, eps, row_out);
+                // SAFETY: each task writes a disjoint range of rows.
+                unsafe {
+                    *mean_ptr.get().add(r) = m;
+                    *rstd_ptr.get().add(r) = rs;
+                }
+            }
+        },
+    );
     Ok((Tensor::from_vec(x.shape(), out)?, LayerNormStats { mean, rstd }))
 }
 
 /// Layer-norm backward. Returns `(dx, dgamma, dbeta)`.
+///
+/// Rows run sequentially (vectorized within each row) because
+/// `dgamma`/`dbeta` accumulate across rows and their accumulation order
+/// is part of the bit-identity contract.
 pub fn layernorm_backward(
     x: &Tensor,
     dy: &Tensor,
@@ -262,28 +337,16 @@ pub fn layernorm_backward(
     let mut dgamma = vec![0f32; n];
     let mut dbeta = vec![0f32; n];
     for r in 0..rows {
-        let xin = &x.data()[r * n..(r + 1) * n];
-        let g = &dy.data()[r * n..(r + 1) * n];
-        let m = stats.mean[r];
-        let rs = stats.rstd[r];
-        // xhat_i = (x_i - m) * rs
-        let mut sum_dy_g = 0f32;
-        let mut sum_dy_g_xhat = 0f32;
-        for i in 0..n {
-            let xhat = (xin[i] - m) * rs;
-            let dyg = g[i] * gamma[i];
-            sum_dy_g += dyg;
-            sum_dy_g_xhat += dyg * xhat;
-            dgamma[i] += g[i] * xhat;
-            dbeta[i] += g[i];
-        }
-        let inv_n = 1.0 / n as f32;
-        let dxr = &mut dx[r * n..(r + 1) * n];
-        for i in 0..n {
-            let xhat = (xin[i] - m) * rs;
-            let dyg = g[i] * gamma[i];
-            dxr[i] = rs * (dyg - inv_n * sum_dy_g - xhat * inv_n * sum_dy_g_xhat);
-        }
+        simd::layernorm_backward_row(
+            &x.data()[r * n..(r + 1) * n],
+            &dy.data()[r * n..(r + 1) * n],
+            gamma,
+            stats.mean[r],
+            stats.rstd[r],
+            &mut dx[r * n..(r + 1) * n],
+            &mut dgamma,
+            &mut dbeta,
+        );
     }
     Ok((Tensor::from_vec(x.shape(), dx)?, dgamma, dbeta))
 }
@@ -414,6 +477,23 @@ mod tests {
     }
 
     #[test]
+    fn gelu_polynomial_tracks_libm_tanh() {
+        // The shared-polynomial tanh must stay within float tolerance of
+        // the libm reference across the active range.
+        const C: f32 = 0.797_884_6;
+        let mut x = -8.0f32;
+        while x <= 8.0 {
+            let reference = 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh());
+            let got = gelu_scalar(x);
+            assert!(
+                (got - reference).abs() <= 2e-6 * (1.0 + reference.abs()),
+                "x={x}: {got} vs {reference}"
+            );
+            x += 0.0137;
+        }
+    }
+
+    #[test]
     fn gelu_grad_matches_finite_difference() {
         for &x in &[-2.0f32, -0.5, 0.0, 0.3, 1.7] {
             let h = 1e-3;
@@ -531,6 +611,40 @@ mod tests {
             }
             assert!((c.data()[i * n + j] - acc).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn matmul_handles_zero_rows_densely() {
+        // The old kernels skipped zero multiplicands; the SIMD kernels
+        // must handle all-zero and sparse inputs just as correctly.
+        let m = 9;
+        let k = 33;
+        let n = 17;
+        let mut av = vec![0f32; m * k];
+        // Leave row 0 and column 3 zero, scatter values elsewhere.
+        for i in 1..m {
+            for kk in 0..k {
+                if kk != 3 {
+                    av[i * k + kk] = (i * 31 + kk * 7) as f32 * 0.01 - 1.5;
+                }
+            }
+        }
+        let a = t(&[m, k], av);
+        let b = Tensor::randn_seeded(&[k, n], 21, 1.0);
+        let c = matmul(&a, &b).unwrap();
+        let mut expect = vec![0f32; m * n];
+        for i in 0..m {
+            for kk in 0..k {
+                let v = a.data()[i * k + kk];
+                for j in 0..n {
+                    expect[i * n + j] += v * b.data()[kk * n + j];
+                }
+            }
+        }
+        for (g, e) in c.data().iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-4);
+        }
+        assert!(c.data()[..n].iter().all(|&v| v == 0.0), "zero row stays zero");
     }
 }
 

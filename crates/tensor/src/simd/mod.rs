@@ -1,0 +1,435 @@
+//! Runtime-dispatched SIMD kernel layer.
+//!
+//! Every bulk numeric kernel in the workspace (f16↔f32 conversion, the
+//! matmul microkernels, gelu/layernorm row kernels, the Adam update)
+//! funnels through this module, which selects an instruction-set backend
+//! once at startup and dispatches each call to it:
+//!
+//! * **`Backend::Avx2`** — 256-bit `std::arch` kernels on x86_64 when the
+//!   CPU reports AVX2 (FMA additionally gated, see below).
+//! * **`Backend::Neon`** — 128-bit `std::arch` kernels on aarch64.
+//! * **`Backend::Scalar`** — always available, and the *canonical
+//!   semantics*: every SIMD backend is written to be **bit-identical** to
+//!   the scalar backend, element for element.
+//!
+//! # The bit-identity contract
+//!
+//! Elastic resume (DESIGN.md §6) and checkpoint equivalence tests assert
+//! bit-for-bit reproducibility of training. A restart may land on a
+//! machine with different SIMD support, so backends must not be allowed
+//! to change numerics. Two rules make that hold:
+//!
+//! 1. **Reductions have a fixed lane shape.** Dot products and row sums
+//!    accumulate into [`LANES`] = 8 virtual lanes in a defined order and
+//!    reduce with [`scalar::sum8`]'s fixed tree, in *every* backend —
+//!    the scalar backend emulates the lanes, the AVX2 backend *is* the
+//!    lanes, the NEON backend models them as two 4-wide registers.
+//! 2. **No FMA contraction by default.** Fused multiply-add changes
+//!    rounding, so fused kernels are gated behind the explicit
+//!    `ZI_SIMD_FMA=1` knob ([`fma_enabled`]). When the knob is on, the
+//!    scalar backend mirrors fusion with `f32::mul_add`, so SIMD/scalar
+//!    equivalence holds in both knob positions — only results *across*
+//!    knob settings differ.
+//!
+//! Transcendentals (`gelu`'s tanh) use a shared polynomial
+//! ([`scalar::tanh_approx`]) built from exactly-rounded ops in a fixed
+//! order, never `libm`, so they are bit-identical across backends too.
+//!
+//! # Forcing a backend
+//!
+//! `ZI_SIMD=scalar|avx2|neon|auto` pins the selection at startup (an
+//! unsupported choice falls back to scalar); tests and benches can also
+//! call [`force_backend`] to switch at runtime. `ZI_SIMD_FMA=1` opts into
+//! fused kernels; [`force_fma`] overrides programmatically.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+use crate::f16::F16;
+
+pub mod scalar;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod x86;
+#[cfg(target_arch = "aarch64")]
+pub(crate) mod neon;
+
+/// Virtual lane count every backend's reductions are defined over.
+pub const LANES: usize = 8;
+
+/// Instruction-set backend for the kernel layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable scalar kernels (the canonical semantics).
+    Scalar,
+    /// 256-bit AVX2 kernels (x86_64).
+    Avx2,
+    /// 128-bit NEON kernels (aarch64).
+    Neon,
+}
+
+impl Backend {
+    /// Stable lowercase label (`ZI_SIMD` accepts these).
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+            Backend::Neon => "neon",
+        }
+    }
+}
+
+/// 0 = no override, 1 = scalar, 2 = avx2, 3 = neon.
+static BACKEND_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+/// 0 = env-configured, 1 = forced off, 2 = forced on.
+static FMA_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// True when this CPU can run the [`Backend::Avx2`] kernels.
+pub fn avx2_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// True when fused kernels are runnable under the selected backend
+/// (scalar/NEON always can; AVX2 needs the `fma` feature bit).
+fn fma_supported(b: Backend) -> bool {
+    match b {
+        Backend::Scalar | Backend::Neon => true,
+        Backend::Avx2 => {
+            #[cfg(target_arch = "x86_64")]
+            {
+                std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            {
+                false
+            }
+        }
+    }
+}
+
+fn neon_supported() -> bool {
+    cfg!(target_arch = "aarch64")
+}
+
+/// Startup selection: `ZI_SIMD` env override, else best detected.
+fn detect() -> Backend {
+    let requested = std::env::var("ZI_SIMD").unwrap_or_default();
+    match requested.as_str() {
+        "scalar" => return Backend::Scalar,
+        "avx2" if avx2_supported() => return Backend::Avx2,
+        "neon" if neon_supported() => return Backend::Neon,
+        "avx2" | "neon" => {
+            eprintln!("zi-tensor: ZI_SIMD={requested} unsupported on this CPU; using scalar");
+            return Backend::Scalar;
+        }
+        _ => {}
+    }
+    if avx2_supported() {
+        Backend::Avx2
+    } else if neon_supported() {
+        Backend::Neon
+    } else {
+        Backend::Scalar
+    }
+}
+
+/// The backend every dispatching kernel routes to right now.
+///
+/// Selection happens once (env + CPUID) and is cached; [`force_backend`]
+/// overrides it afterwards. Forcing a backend the current CPU cannot run
+/// silently degrades to scalar at dispatch time.
+pub fn backend() -> Backend {
+    match BACKEND_OVERRIDE.load(Ordering::Relaxed) {
+        1 => Backend::Scalar,
+        2 if avx2_supported() => Backend::Avx2,
+        3 if neon_supported() => Backend::Neon,
+        2 | 3 => Backend::Scalar,
+        _ => {
+            static DETECTED: OnceLock<Backend> = OnceLock::new();
+            *DETECTED.get_or_init(detect)
+        }
+    }
+}
+
+/// Pin (or with `None`, un-pin) the dispatch backend at runtime.
+///
+/// For tests and benches that compare backends on one machine; normal
+/// code configures via `ZI_SIMD` instead.
+pub fn force_backend(b: Option<Backend>) {
+    let v = match b {
+        None => 0,
+        Some(Backend::Scalar) => 1,
+        Some(Backend::Avx2) => 2,
+        Some(Backend::Neon) => 3,
+    };
+    BACKEND_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// True when kernels may contract multiply-add (the `ZI_SIMD_FMA=1`
+/// knob, or a [`force_fma`] override). Off by default: fusion changes
+/// rounding, and the default path must stay bit-identical across
+/// backends and machines.
+pub fn fma_enabled() -> bool {
+    let want = match FMA_OVERRIDE.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => {
+            static ENV: OnceLock<bool> = OnceLock::new();
+            *ENV.get_or_init(|| std::env::var("ZI_SIMD_FMA").is_ok_and(|v| v == "1"))
+        }
+    };
+    want && fma_supported(backend())
+}
+
+/// Pin (or with `None`, un-pin) the FMA knob at runtime (tests/benches).
+pub fn force_fma(on: Option<bool>) {
+    FMA_OVERRIDE.store(match on { None => 0, Some(false) => 1, Some(true) => 2 }, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatching kernels. Each wrapper validates lengths once, then routes
+// to the selected backend; `_ =>` lands on scalar, which is always
+// correct (the canonical semantics).
+
+macro_rules! dispatch {
+    ($avx2:expr, $neon:expr, $scalar:expr) => {{
+        match backend() {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `backend()` only returns Avx2 when CPUID reports it.
+            Backend::Avx2 => unsafe { $avx2 },
+            #[cfg(target_arch = "aarch64")]
+            Backend::Neon => unsafe { $neon },
+            _ => $scalar,
+        }
+    }};
+}
+
+/// Bulk f32 → f16 conversion (round-to-nearest-even, NaNs canonicalized
+/// exactly like [`F16::from_f32`]).
+pub fn f32_to_f16_slice(src: &[f32], dst: &mut [F16]) {
+    assert_eq!(src.len(), dst.len(), "f32→f16 length mismatch");
+    #[cfg(target_arch = "aarch64")]
+    let _ = &src; // neon backend currently shares the scalar conversion
+    dispatch!(
+        x86::f32_to_f16(src, dst),
+        scalar::f32_to_f16(src, dst),
+        scalar::f32_to_f16(src, dst)
+    )
+}
+
+/// Bulk f16 → f32 conversion (exact).
+pub fn f16_to_f32_slice(src: &[F16], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "f16→f32 length mismatch");
+    dispatch!(
+        x86::f16_to_f32(src, dst),
+        scalar::f16_to_f32(src, dst),
+        scalar::f16_to_f32(src, dst)
+    )
+}
+
+/// `acc[j] += a * x[j]` — the matmul row update.
+pub fn axpy(acc: &mut [f32], a: f32, x: &[f32]) {
+    assert!(x.len() >= acc.len(), "axpy operand shorter than accumulator");
+    let fma = fma_enabled();
+    dispatch!(
+        x86::axpy(acc, a, x, fma),
+        neon::axpy(acc, a, x, fma),
+        scalar::axpy(acc, a, x, fma)
+    )
+}
+
+/// Four k-steps of the matmul row update in one register-blocked pass:
+/// `acc[j] += a[0]*x0[j]; acc[j] += a[1]*x1[j]; …` in that (k-sequential)
+/// order, so the result is bit-identical to four [`axpy`] calls.
+pub fn axpy4(acc: &mut [f32], a: [f32; 4], x: [&[f32]; 4]) {
+    for xi in &x {
+        assert!(xi.len() >= acc.len(), "axpy4 operand shorter than accumulator");
+    }
+    let fma = fma_enabled();
+    dispatch!(
+        x86::axpy4(acc, a, x, fma),
+        neon::axpy4(acc, a, x, fma),
+        scalar::axpy4(acc, a, x, fma)
+    )
+}
+
+/// Canonical 8-lane dot product of `x` and `w`.
+pub fn dot(x: &[f32], w: &[f32]) -> f32 {
+    assert_eq!(x.len(), w.len(), "dot length mismatch");
+    let fma = fma_enabled();
+    dispatch!(x86::dot(x, w, fma), neon::dot(x, w, fma), scalar::dot(x, w, fma))
+}
+
+/// Four independent dot products of `x` against `w0..w3` (each
+/// bit-identical to [`dot`]); the fused form lets SIMD backends reuse
+/// every load of `x` four times.
+pub fn dot4(x: &[f32], w: [&[f32]; 4]) -> [f32; 4] {
+    for wi in &w {
+        assert_eq!(x.len(), wi.len(), "dot4 length mismatch");
+    }
+    let fma = fma_enabled();
+    dispatch!(x86::dot4(x, w, fma), neon::dot4(x, w, fma), scalar::dot4(x, w, fma))
+}
+
+/// Elementwise tanh-approximation GELU.
+pub fn gelu_slice(x: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), out.len(), "gelu length mismatch");
+    dispatch!(x86::gelu(x, out), scalar::gelu(x, out), scalar::gelu(x, out))
+}
+
+/// Elementwise GELU backward: `out[i] = dy[i] * gelu'(x[i])`.
+pub fn gelu_grad_slice(x: &[f32], dy: &[f32], out: &mut [f32]) {
+    assert!(x.len() == dy.len() && dy.len() == out.len(), "gelu_grad length mismatch");
+    dispatch!(
+        x86::gelu_grad(x, dy, out),
+        scalar::gelu_grad(x, dy, out),
+        scalar::gelu_grad(x, dy, out)
+    )
+}
+
+/// One row of layer normalization; returns `(mean, rstd)`.
+pub fn layernorm_row(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    out: &mut [f32],
+) -> (f32, f32) {
+    assert!(
+        x.len() == gamma.len() && x.len() == beta.len() && x.len() == out.len(),
+        "layernorm_row length mismatch"
+    );
+    dispatch!(
+        x86::layernorm_row(x, gamma, beta, eps, out),
+        scalar::layernorm_row(x, gamma, beta, eps, out),
+        scalar::layernorm_row(x, gamma, beta, eps, out)
+    )
+}
+
+/// One row of the layer-norm backward pass. Accumulates into
+/// `dgamma`/`dbeta` and writes `dx`.
+#[allow(clippy::too_many_arguments)]
+pub fn layernorm_backward_row(
+    x: &[f32],
+    dy: &[f32],
+    gamma: &[f32],
+    mean: f32,
+    rstd: f32,
+    dx: &mut [f32],
+    dgamma: &mut [f32],
+    dbeta: &mut [f32],
+) {
+    let n = x.len();
+    assert!(
+        dy.len() == n && gamma.len() == n && dx.len() == n && dgamma.len() == n && dbeta.len() == n,
+        "layernorm_backward_row length mismatch"
+    );
+    dispatch!(
+        x86::layernorm_backward_row(x, dy, gamma, mean, rstd, dx, dgamma, dbeta),
+        scalar::layernorm_backward_row(x, dy, gamma, mean, rstd, dx, dgamma, dbeta),
+        scalar::layernorm_backward_row(x, dy, gamma, mean, rstd, dx, dgamma, dbeta)
+    )
+}
+
+/// Hyperparameters for one Adam chunk update, with the per-step bias
+/// corrections folded in. Shared by every backend.
+#[derive(Debug, Clone, Copy)]
+pub struct AdamParams {
+    /// First-moment decay β₁.
+    pub beta1: f32,
+    /// Second-moment decay β₂.
+    pub beta2: f32,
+    /// `1 - β₁`.
+    pub one_minus_beta1: f32,
+    /// `1 - β₂`.
+    pub one_minus_beta2: f32,
+    /// Bias-correction denominator `1 - β₁^t`.
+    pub bc1: f32,
+    /// Bias-correction denominator `1 - β₂^t`.
+    pub bc2: f32,
+    /// Learning rate.
+    pub lr: f32,
+    /// Denominator epsilon.
+    pub eps: f32,
+    /// Decoupled weight decay.
+    pub weight_decay: f32,
+}
+
+/// Elementwise Adam update of one chunk, optionally publishing the new
+/// master values in the same pass.
+pub fn adam_chunk(
+    p: &AdamParams,
+    master: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    grad: &[f32],
+    publish: Option<&mut [f32]>,
+) {
+    let n = master.len();
+    assert!(m.len() == n && v.len() == n && grad.len() == n, "adam_chunk length mismatch");
+    if let Some(ref pb) = publish {
+        assert_eq!(pb.len(), n, "adam_chunk publish length mismatch");
+    }
+    let fma = fma_enabled();
+    dispatch!(
+        x86::adam_chunk(p, master, m, v, grad, publish, fma),
+        neon::adam_chunk(p, master, m, v, grad, publish, fma),
+        scalar::adam_chunk(p, master, m, v, grad, publish, fma)
+    )
+}
+
+/// Canonical 8-lane sum of a slice (used by layernorm statistics).
+pub fn vec_sum(x: &[f32]) -> f32 {
+    dispatch!(x86::vec_sum(x), scalar::vec_sum(x), scalar::vec_sum(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_labels_round_trip_env_names() {
+        for b in [Backend::Scalar, Backend::Avx2, Backend::Neon] {
+            assert!(!b.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn force_backend_overrides_and_clears() {
+        force_backend(Some(Backend::Scalar));
+        assert_eq!(backend(), Backend::Scalar);
+        force_backend(None);
+        let auto = backend();
+        // ZI_SIMD wins over hardware detection, so only expect AVX2
+        // when the env isn't pinning the choice (as CI's scalar-forced
+        // pass does).
+        let env = std::env::var("ZI_SIMD").unwrap_or_default();
+        if avx2_supported() && (env.is_empty() || env == "auto") {
+            assert_eq!(auto, Backend::Avx2);
+        }
+        // Forcing an unsupported backend degrades to scalar.
+        if !avx2_supported() {
+            force_backend(Some(Backend::Avx2));
+            assert_eq!(backend(), Backend::Scalar);
+            force_backend(None);
+        }
+    }
+
+    #[test]
+    fn fma_knob_defaults_off_and_forces_on() {
+        force_fma(Some(false));
+        assert!(!fma_enabled());
+        force_fma(Some(true));
+        // Honored unless the backend cannot fuse.
+        if fma_supported(backend()) {
+            assert!(fma_enabled());
+        }
+        force_fma(None);
+    }
+}

@@ -1,0 +1,189 @@
+//! NEON backend for aarch64.
+//!
+//! NEON registers are 128-bit, so the canonical 8-lane accumulator
+//! (see [`super::scalar`]) is modeled as two 4-wide registers: the
+//! first holds lanes 0–3, the second lanes 4–7. Reductions store both
+//! registers and reuse [`scalar::sum8`], so results are bit-identical
+//! to the scalar and AVX2 backends. FMA (`vfmaq_f32`) is only used in
+//! the `fma = true` variants, mirroring `f32::mul_add` in the scalar
+//! backend. The f16 conversions and the gelu/layernorm row kernels
+//! currently dispatch to the scalar backend (see `super`).
+
+use core::arch::aarch64::*;
+
+use super::{scalar, AdamParams, LANES};
+
+/// `acc[j] += a * x[j]`.
+pub unsafe fn axpy(acc: &mut [f32], a: f32, x: &[f32], fma: bool) {
+    unsafe {
+        let n = acc.len();
+        let av = vdupq_n_f32(a);
+        let ap = acc.as_mut_ptr();
+        let xp = x.as_ptr();
+        let mut j = 0;
+        while j + 4 <= n {
+            let o = vld1q_f32(ap.add(j));
+            let xv = vld1q_f32(xp.add(j));
+            let o = if fma { vfmaq_f32(o, xv, av) } else { vaddq_f32(o, vmulq_f32(av, xv)) };
+            vst1q_f32(ap.add(j), o);
+            j += 4;
+        }
+        scalar::axpy(&mut acc[j..], a, &x[j..], fma);
+    }
+}
+
+/// Register-blocked 4-step axpy; numerics match [`scalar::axpy4`].
+pub unsafe fn axpy4(acc: &mut [f32], a: [f32; 4], x: [&[f32]; 4], fma: bool) {
+    unsafe {
+        let n = acc.len();
+        let av = [vdupq_n_f32(a[0]), vdupq_n_f32(a[1]), vdupq_n_f32(a[2]), vdupq_n_f32(a[3])];
+        let ap = acc.as_mut_ptr();
+        let mut j = 0;
+        while j + 4 <= n {
+            let mut o = vld1q_f32(ap.add(j));
+            for kk in 0..4 {
+                let xv = vld1q_f32(x[kk].as_ptr().add(j));
+                o = if fma { vfmaq_f32(o, xv, av[kk]) } else { vaddq_f32(o, vmulq_f32(av[kk], xv)) };
+            }
+            vst1q_f32(ap.add(j), o);
+            j += 4;
+        }
+        scalar::axpy4(&mut acc[j..], a, [&x[0][j..], &x[1][j..], &x[2][j..], &x[3][j..]], fma);
+    }
+}
+
+#[inline(always)]
+unsafe fn store8(lo: float32x4_t, hi: float32x4_t) -> [f32; LANES] {
+    unsafe {
+        let mut lanes = [0f32; LANES];
+        vst1q_f32(lanes.as_mut_ptr(), lo);
+        vst1q_f32(lanes.as_mut_ptr().add(4), hi);
+        lanes
+    }
+}
+
+/// Canonical 8-lane dot product (two 4-wide accumulators).
+pub unsafe fn dot(x: &[f32], w: &[f32], fma: bool) -> f32 {
+    unsafe {
+        let n = x.len();
+        let xp = x.as_ptr();
+        let wp = w.as_ptr();
+        let mut lo = vdupq_n_f32(0.0);
+        let mut hi = vdupq_n_f32(0.0);
+        let mut i = 0;
+        while i + LANES <= n {
+            let x0 = vld1q_f32(xp.add(i));
+            let x1 = vld1q_f32(xp.add(i + 4));
+            let w0 = vld1q_f32(wp.add(i));
+            let w1 = vld1q_f32(wp.add(i + 4));
+            if fma {
+                lo = vfmaq_f32(lo, x0, w0);
+                hi = vfmaq_f32(hi, x1, w1);
+            } else {
+                lo = vaddq_f32(lo, vmulq_f32(x0, w0));
+                hi = vaddq_f32(hi, vmulq_f32(x1, w1));
+            }
+            i += LANES;
+        }
+        let mut lanes = store8(lo, hi);
+        scalar::dot_tail(&mut lanes, x, w, i, fma);
+        scalar::sum8(lanes)
+    }
+}
+
+/// Four dot products sharing each load of `x`.
+pub unsafe fn dot4(x: &[f32], w: [&[f32]; 4], fma: bool) -> [f32; 4] {
+    unsafe {
+        let n = x.len();
+        let xp = x.as_ptr();
+        let mut lo = [vdupq_n_f32(0.0); 4];
+        let mut hi = [vdupq_n_f32(0.0); 4];
+        let mut i = 0;
+        while i + LANES <= n {
+            let x0 = vld1q_f32(xp.add(i));
+            let x1 = vld1q_f32(xp.add(i + 4));
+            for c in 0..4 {
+                let w0 = vld1q_f32(w[c].as_ptr().add(i));
+                let w1 = vld1q_f32(w[c].as_ptr().add(i + 4));
+                if fma {
+                    lo[c] = vfmaq_f32(lo[c], x0, w0);
+                    hi[c] = vfmaq_f32(hi[c], x1, w1);
+                } else {
+                    lo[c] = vaddq_f32(lo[c], vmulq_f32(x0, w0));
+                    hi[c] = vaddq_f32(hi[c], vmulq_f32(x1, w1));
+                }
+            }
+            i += LANES;
+        }
+        let mut out = [0f32; 4];
+        for c in 0..4 {
+            let mut lanes = store8(lo[c], hi[c]);
+            scalar::dot_tail(&mut lanes, x, w[c], i, fma);
+            out[c] = scalar::sum8(lanes);
+        }
+        out
+    }
+}
+
+/// Elementwise Adam chunk update with optional fused publish.
+pub unsafe fn adam_chunk(
+    p: &AdamParams,
+    master: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    grad: &[f32],
+    publish: Option<&mut [f32]>,
+    fma: bool,
+) {
+    unsafe {
+        let n = master.len();
+        let b1 = vdupq_n_f32(p.beta1);
+        let b2 = vdupq_n_f32(p.beta2);
+        let omb1 = vdupq_n_f32(p.one_minus_beta1);
+        let omb2 = vdupq_n_f32(p.one_minus_beta2);
+        let bc1 = vdupq_n_f32(p.bc1);
+        let bc2 = vdupq_n_f32(p.bc2);
+        let lr = vdupq_n_f32(p.lr);
+        let eps = vdupq_n_f32(p.eps);
+        let wd = vdupq_n_f32(p.weight_decay);
+        let mp = master.as_mut_ptr();
+        let mmp = m.as_mut_ptr();
+        let vp = v.as_mut_ptr();
+        let gp = grad.as_ptr();
+        let pubp = publish.as_ref().map(|s| s.as_ptr() as *mut f32);
+        let mut i = 0;
+        while i + 4 <= n {
+            let g = vld1q_f32(gp.add(i));
+            let mo = vld1q_f32(mmp.add(i));
+            let vo = vld1q_f32(vp.add(i));
+            let po = vld1q_f32(mp.add(i));
+            let (mn, vn) = if fma {
+                let mn = vfmaq_f32(vmulq_f32(omb1, g), mo, b1);
+                let vn = vfmaq_f32(vmulq_f32(b2, vo), vmulq_f32(omb2, g), g);
+                (mn, vn)
+            } else {
+                let mn = vaddq_f32(vmulq_f32(b1, mo), vmulq_f32(omb1, g));
+                let vn = vaddq_f32(vmulq_f32(b2, vo), vmulq_f32(vmulq_f32(omb2, g), g));
+                (mn, vn)
+            };
+            vst1q_f32(mmp.add(i), mn);
+            vst1q_f32(vp.add(i), vn);
+            let m_hat = vdivq_f32(mn, bc1);
+            let v_hat = vdivq_f32(vn, bc2);
+            let den = vaddq_f32(vsqrtq_f32(v_hat), eps);
+            let update = vaddq_f32(vdivq_f32(m_hat, den), vmulq_f32(wd, po));
+            let pn = vsubq_f32(po, vmulq_f32(lr, update));
+            vst1q_f32(mp.add(i), pn);
+            if let Some(out) = pubp {
+                vst1q_f32(out.add(i), pn);
+            }
+            i += 4;
+        }
+        for j in i..n {
+            scalar::adam_one(p, &mut master[j], &mut m[j], &mut v[j], grad[j], fma);
+            if let Some(out) = pubp {
+                *out.add(j) = master[j];
+            }
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! Canonical scalar backend.
+//!
+//! These kernels *define* the numerics of the SIMD layer: every other
+//! backend must reproduce them bit for bit (see the module docs in
+//! [`super`]). To make that possible on 8-wide hardware, reductions here
+//! are written over [`LANES`] explicit virtual lanes with the fixed
+//! [`sum8`] reduction tree rather than a natural sequential loop —
+//! "scalar" names the instruction set, not the algorithm shape.
+
+use crate::f16::F16;
+use super::{AdamParams, LANES};
+
+/// log2(e), for range reduction in [`exp_approx`].
+const LOG2_E: f32 = std::f32::consts::LOG2_E;
+/// ln(2), for range reduction in [`exp_approx`].
+const LN_2: f32 = std::f32::consts::LN_2;
+/// `tanh` argument clamp: beyond ±18, `(e^z-1)/(e^z+1)` is ±1.0 in f32.
+const TANH_CLAMP: f32 = 18.0;
+
+/// GELU tanh-approximation constants (same values the pre-SIMD kernels
+/// used, kept so tolerance-based model tests keep passing).
+pub const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
+/// Cubic coefficient of the GELU tanh approximation.
+pub const GELU_A: f32 = 0.044_715;
+const GELU_3A: f32 = 3.0 * GELU_A;
+
+// Taylor coefficients 1/k! for e^w on |w| <= ln(2)/2.
+const EXP_C2: f32 = 0.5;
+const EXP_C3: f32 = 1.0 / 6.0;
+const EXP_C4: f32 = 1.0 / 24.0;
+const EXP_C5: f32 = 1.0 / 120.0;
+const EXP_C6: f32 = 1.0 / 720.0;
+
+/// Mirror of SIMD `min(a, b)` (`vminps`): returns `b` when unordered or
+/// equal. Differs from `f32::min` on NaN handling, so backends must use
+/// this, never `f32::min`.
+#[inline(always)]
+pub fn mirror_min(a: f32, b: f32) -> f32 {
+    if a < b { a } else { b }
+}
+
+/// Mirror of SIMD `max(a, b)` (`vmaxps`); see [`mirror_min`].
+#[inline(always)]
+pub fn mirror_max(a: f32, b: f32) -> f32 {
+    if a > b { a } else { b }
+}
+
+/// The fixed reduction tree every backend uses to collapse 8 lanes:
+/// pairwise low-half/high-half adds, exactly the shape of a 256-bit
+/// `extractf128` + `movehl` + shuffle reduction.
+#[inline(always)]
+pub fn sum8(l: [f32; LANES]) -> f32 {
+    let a0 = l[0] + l[4];
+    let a1 = l[1] + l[5];
+    let a2 = l[2] + l[6];
+    let a3 = l[3] + l[7];
+    (a0 + a2) + (a1 + a3)
+}
+
+// ---------------------------------------------------------------------------
+// f16 conversion
+
+/// Canonical bulk f32 → f16 (delegates to [`F16::from_f32`]).
+pub fn f32_to_f16(src: &[f32], dst: &mut [F16]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = F16::from_f32(s);
+    }
+}
+
+/// Canonical bulk f16 → f32 (delegates to [`F16::to_f32`]).
+pub fn f16_to_f32(src: &[F16], dst: &mut [f32]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = s.to_f32();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// matmul microkernels
+
+/// `acc[j] += a * x[j]`.
+pub fn axpy(acc: &mut [f32], a: f32, x: &[f32], fma: bool) {
+    if fma {
+        for (o, &v) in acc.iter_mut().zip(x) {
+            *o = v.mul_add(a, *o);
+        }
+    } else {
+        for (o, &v) in acc.iter_mut().zip(x) {
+            *o += a * v;
+        }
+    }
+}
+
+/// Four k-sequential axpy passes fused over one traversal of `acc`;
+/// per-element update order matches four separate [`axpy`] calls.
+pub fn axpy4(acc: &mut [f32], a: [f32; 4], x: [&[f32]; 4], fma: bool) {
+    for (j, o) in acc.iter_mut().enumerate() {
+        let mut t = *o;
+        if fma {
+            t = x[0][j].mul_add(a[0], t);
+            t = x[1][j].mul_add(a[1], t);
+            t = x[2][j].mul_add(a[2], t);
+            t = x[3][j].mul_add(a[3], t);
+        } else {
+            t += a[0] * x[0][j];
+            t += a[1] * x[1][j];
+            t += a[2] * x[2][j];
+            t += a[3] * x[3][j];
+        }
+        *o = t;
+    }
+}
+
+/// Accumulate the tail elements `x[i..]·w[i..]` into lanes `0..rem`,
+/// one element per lane — shared by all backends so remainders agree.
+#[inline(always)]
+pub fn dot_tail(lanes: &mut [f32; LANES], x: &[f32], w: &[f32], i: usize, fma: bool) {
+    for (j, (xv, wv)) in x[i..].iter().zip(&w[i..]).enumerate() {
+        if fma {
+            lanes[j] = xv.mul_add(*wv, lanes[j]);
+        } else {
+            lanes[j] += xv * wv;
+        }
+    }
+}
+
+/// Canonical 8-lane dot product.
+pub fn dot(x: &[f32], w: &[f32], fma: bool) -> f32 {
+    let mut lanes = [0f32; LANES];
+    let mut i = 0;
+    while i + LANES <= x.len() {
+        for j in 0..LANES {
+            if fma {
+                lanes[j] = x[i + j].mul_add(w[i + j], lanes[j]);
+            } else {
+                lanes[j] += x[i + j] * w[i + j];
+            }
+        }
+        i += LANES;
+    }
+    dot_tail(&mut lanes, x, w, i, fma);
+    sum8(lanes)
+}
+
+/// Four independent [`dot`]s (identical numerics, shared `x` loads in
+/// the SIMD backends).
+pub fn dot4(x: &[f32], w: [&[f32]; 4], fma: bool) -> [f32; 4] {
+    [dot(x, w[0], fma), dot(x, w[1], fma), dot(x, w[2], fma), dot(x, w[3], fma)]
+}
+
+/// Canonical 8-lane sum.
+pub fn vec_sum(x: &[f32]) -> f32 {
+    let mut lanes = [0f32; LANES];
+    let mut i = 0;
+    while i + LANES <= x.len() {
+        for j in 0..LANES {
+            lanes[j] += x[i + j];
+        }
+        i += LANES;
+    }
+    for (j, &v) in x[i..].iter().enumerate() {
+        lanes[j] += v;
+    }
+    sum8(lanes)
+}
+
+/// Canonical 8-lane sum of squared deviations from `mean`.
+pub fn vec_center_sumsq(x: &[f32], mean: f32) -> f32 {
+    let mut lanes = [0f32; LANES];
+    let mut i = 0;
+    while i + LANES <= x.len() {
+        for j in 0..LANES {
+            let d = x[i + j] - mean;
+            lanes[j] += d * d;
+        }
+        i += LANES;
+    }
+    for (j, &v) in x[i..].iter().enumerate() {
+        let d = v - mean;
+        lanes[j] += d * d;
+    }
+    sum8(lanes)
+}
+
+// ---------------------------------------------------------------------------
+// gelu
+
+/// `e^z` for `|z| <= TANH_CLAMP`, from exactly-rounded ops in a fixed
+/// order: range-reduce with round-ties-even (the SIMD rounding mode),
+/// degree-6 Taylor Horner on the remainder, exponent-bits scale.
+#[inline(always)]
+pub fn exp_approx(z: f32) -> f32 {
+    let y = z * LOG2_E;
+    let kf = y.round_ties_even();
+    let r = y - kf;
+    let w = r * LN_2;
+    let mut p = EXP_C6;
+    p = p * w + EXP_C5;
+    p = p * w + EXP_C4;
+    p = p * w + EXP_C3;
+    p = p * w + EXP_C2;
+    p = p * w + 1.0;
+    p = p * w + 1.0;
+    // kf ∈ [-26, 26] here, so `as i32` is exact and matches cvtps2dq.
+    let scale = f32::from_bits(((kf as i32 + 127) as u32) << 23);
+    p * scale
+}
+
+/// `tanh(z/2)` via `(e^z - 1) / (e^z + 1)` with `z` clamped to ±[`TANH_CLAMP`].
+/// Division is correctly rounded on every backend, so this is exact-match.
+#[inline(always)]
+pub fn tanh_half_approx(z: f32) -> f32 {
+    let z = mirror_max(mirror_min(z, TANH_CLAMP), -TANH_CLAMP);
+    let e = exp_approx(z);
+    (e - 1.0) / (e + 1.0)
+}
+
+/// One GELU element, tanh approximation.
+#[inline(always)]
+pub fn gelu_one(x: f32) -> f32 {
+    let x2 = x * x;
+    let x3 = x2 * x;
+    let inner = GELU_C * (x + GELU_A * x3);
+    let t = tanh_half_approx(inner + inner);
+    (0.5 * x) * (1.0 + t)
+}
+
+/// Derivative of [`gelu_one`] at `x`.
+#[inline(always)]
+pub fn gelu_grad_one(x: f32) -> f32 {
+    let x2 = x * x;
+    let x3 = x2 * x;
+    let inner = GELU_C * (x + GELU_A * x3);
+    let t = tanh_half_approx(inner + inner);
+    let dinner = GELU_C * (1.0 + GELU_3A * x2);
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + ((0.5 * x) * sech2) * dinner
+}
+
+/// Elementwise GELU over a slice.
+pub fn gelu(x: &[f32], out: &mut [f32]) {
+    for (o, &v) in out.iter_mut().zip(x) {
+        *o = gelu_one(v);
+    }
+}
+
+/// Elementwise `out[i] = dy[i] * gelu'(x[i])`.
+pub fn gelu_grad(x: &[f32], dy: &[f32], out: &mut [f32]) {
+    for ((o, &v), &g) in out.iter_mut().zip(x).zip(dy) {
+        *o = g * gelu_grad_one(v);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// layernorm
+
+/// One row of layer normalization; returns `(mean, rstd)`.
+pub fn layernorm_row(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    out: &mut [f32],
+) -> (f32, f32) {
+    let inv_n = 1.0 / x.len() as f32;
+    let mean = vec_sum(x) * inv_n;
+    let var = vec_center_sumsq(x, mean) * inv_n;
+    let rstd = 1.0 / (var + eps).sqrt();
+    for (j, o) in out.iter_mut().enumerate() {
+        *o = ((x[j] - mean) * rstd) * gamma[j] + beta[j];
+    }
+    (mean, rstd)
+}
+
+/// One row of the layer-norm backward pass: 8-lane reductions of
+/// `dy*gamma` and `dy*gamma*xhat`, dgamma/dbeta accumulation, then the
+/// dx formula `rstd * ((dyg - s1) - xhat * s2)`.
+#[allow(clippy::too_many_arguments)]
+pub fn layernorm_backward_row(
+    x: &[f32],
+    dy: &[f32],
+    gamma: &[f32],
+    mean: f32,
+    rstd: f32,
+    dx: &mut [f32],
+    dgamma: &mut [f32],
+    dbeta: &mut [f32],
+) {
+    let n = x.len();
+    let mut la = [0f32; LANES];
+    let mut lb = [0f32; LANES];
+    let mut i = 0;
+    while i + LANES <= n {
+        for j in 0..LANES {
+            let xhat = (x[i + j] - mean) * rstd;
+            let dyg = dy[i + j] * gamma[i + j];
+            la[j] += dyg;
+            lb[j] += dyg * xhat;
+            dgamma[i + j] += dy[i + j] * xhat;
+            dbeta[i + j] += dy[i + j];
+        }
+        i += LANES;
+    }
+    for j in i..n {
+        let xhat = (x[j] - mean) * rstd;
+        let dyg = dy[j] * gamma[j];
+        la[j - i] += dyg;
+        lb[j - i] += dyg * xhat;
+        dgamma[j] += dy[j] * xhat;
+        dbeta[j] += dy[j];
+    }
+    let inv_n = 1.0 / n as f32;
+    let s1 = inv_n * sum8(la);
+    let s2 = inv_n * sum8(lb);
+    for (j, o) in dx.iter_mut().enumerate() {
+        let xhat = (x[j] - mean) * rstd;
+        let dyg = dy[j] * gamma[j];
+        *o = rstd * ((dyg - s1) - xhat * s2);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// adam
+
+/// One element of the Adam update; op order matches the pre-SIMD
+/// `update_one` exactly so checkpoint streams stay bit-compatible.
+/// With `fma`, only the two moment updates contract.
+#[inline(always)]
+pub fn adam_one(
+    p: &AdamParams,
+    master: &mut f32,
+    m: &mut f32,
+    v: &mut f32,
+    g: f32,
+    fma: bool,
+) {
+    let (m_new, v_new) = if fma {
+        let mn = (*m).mul_add(p.beta1, p.one_minus_beta1 * g);
+        let vn = (p.one_minus_beta2 * g).mul_add(g, p.beta2 * *v);
+        (mn, vn)
+    } else {
+        let mn = p.beta1 * *m + p.one_minus_beta1 * g;
+        let vn = p.beta2 * *v + (p.one_minus_beta2 * g) * g;
+        (mn, vn)
+    };
+    *m = m_new;
+    *v = v_new;
+    let m_hat = m_new / p.bc1;
+    let v_hat = v_new / p.bc2;
+    let update = m_hat / (v_hat.sqrt() + p.eps) + p.weight_decay * *master;
+    *master -= p.lr * update;
+}
+
+/// Elementwise Adam over a chunk, optionally publishing new masters.
+pub fn adam_chunk(
+    p: &AdamParams,
+    master: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    grad: &[f32],
+    publish: Option<&mut [f32]>,
+    fma: bool,
+) {
+    for i in 0..master.len() {
+        adam_one(p, &mut master[i], &mut m[i], &mut v[i], grad[i], fma);
+    }
+    if let Some(out) = publish {
+        out.copy_from_slice(master);
+    }
+}

@@ -1,0 +1,639 @@
+//! AVX2 (+ optional FMA) backend for x86_64.
+//!
+//! Every kernel here mirrors the canonical algorithm in
+//! [`super::scalar`] lane for lane: the 8-lane accumulators are real
+//! 256-bit registers, reductions store the register and reuse
+//! [`scalar::sum8`]/[`scalar::dot_tail`] so remainders and reduction
+//! trees are literally the same code, and fused multiply-add is only
+//! emitted in the `fma = true` variants (the `ZI_SIMD_FMA=1` knob).
+//! The f16 conversions use integer bit manipulation rather than
+//! hardware `F16C` because the scalar [`crate::f16::F16`] conversion
+//! canonicalizes NaN payloads on `from_f32`, and hardware `vcvtps2ph`
+//! does not.
+//!
+//! # Safety
+//!
+//! All `pub` functions require AVX2 (and, when `fma = true`, FMA) to be
+//! supported; `super::backend()` guarantees this before dispatching.
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use core::arch::x86_64::*;
+
+use super::{scalar, AdamParams, LANES};
+use crate::f16::F16;
+
+// ---------------------------------------------------------------------------
+// f16 conversion
+
+/// Bulk f16 → f32, bit-identical to [`F16::to_f32`] for all 65,536
+/// input patterns (exact conversion, NaN payloads shifted into place).
+#[target_feature(enable = "avx2")]
+pub unsafe fn f16_to_f32(src: &[F16], dst: &mut [f32]) {
+    let n = src.len();
+    let sp = src.as_ptr() as *const __m128i;
+    let dp = dst.as_mut_ptr();
+    let two_neg24 = _mm256_set1_ps(f32::from_bits(0x3380_0000)); // 2^-24
+    let mut i = 0;
+    while i + LANES <= n {
+        let h = _mm256_cvtepu16_epi32(_mm_loadu_si128(sp.byte_add(i * 2)));
+        let sign = _mm256_slli_epi32::<16>(_mm256_and_si256(h, _mm256_set1_epi32(0x8000)));
+        let hab = _mm256_and_si256(h, _mm256_set1_epi32(0x7fff));
+        let mant = _mm256_and_si256(h, _mm256_set1_epi32(0x3ff));
+        // Normal: shift exponent+mantissa into f32 position, rebias 15→127.
+        let normal = _mm256_add_epi32(_mm256_slli_epi32::<13>(hab), _mm256_set1_epi32(0x3800_0000));
+        // Inf/NaN: f32 exponent all-ones, payload shifted (matches scalar).
+        let ext = _mm256_or_si256(_mm256_set1_epi32(0x7f80_0000), _mm256_slli_epi32::<13>(mant));
+        // Subnormal (and zero): exact value mant * 2^-24.
+        let subf = _mm256_mul_ps(_mm256_cvtepi32_ps(mant), two_neg24);
+        let m_ext = _mm256_cmpgt_epi32(hab, _mm256_set1_epi32(0x7bff));
+        let m_sub = _mm256_cmpgt_epi32(_mm256_set1_epi32(0x400), hab);
+        let mut res = _mm256_blendv_epi8(normal, ext, m_ext);
+        res = _mm256_blendv_epi8(res, _mm256_castps_si256(subf), m_sub);
+        res = _mm256_or_si256(res, sign);
+        _mm256_storeu_ps(dp.add(i), _mm256_castsi256_ps(res));
+        i += LANES;
+    }
+    scalar::f16_to_f32(&src[i..], &mut dst[i..]);
+}
+
+/// Bulk f32 → f16, bit-identical to [`F16::from_f32`] for every input:
+/// round-to-nearest-even with natural carry into the exponent
+/// (MAX → inf), canonical quiet NaN, signed-zero underflow.
+#[target_feature(enable = "avx2")]
+pub unsafe fn f32_to_f16(src: &[f32], dst: &mut [F16]) {
+    let n = src.len();
+    let sp = src.as_ptr();
+    let dp = dst.as_mut_ptr() as *mut __m128i;
+    let one = _mm256_set1_epi32(1);
+    let mut i = 0;
+    while i + LANES <= n {
+        let bits = _mm256_castps_si256(_mm256_loadu_ps(sp.add(i)));
+        let sign = _mm256_and_si256(_mm256_srli_epi32::<16>(bits), _mm256_set1_epi32(0x8000));
+        let hab = _mm256_and_si256(bits, _mm256_set1_epi32(0x7fff_ffff));
+
+        // Normal candidate: out = (hab >> 13) - (112 << 10), then RN-even on
+        // the 13 dropped bits; the +1 carry ripples into the exponent, so
+        // rounding up from MAX yields infinity exactly like the scalar path.
+        let out_n = _mm256_sub_epi32(_mm256_srli_epi32::<13>(hab), _mm256_set1_epi32(112 << 10));
+        let rem_n = _mm256_and_si256(hab, _mm256_set1_epi32(0x1fff));
+        let odd_n = _mm256_cmpeq_epi32(_mm256_and_si256(out_n, one), one);
+        let inc_n = _mm256_or_si256(
+            _mm256_cmpgt_epi32(rem_n, _mm256_set1_epi32(0x1000)),
+            _mm256_and_si256(_mm256_cmpeq_epi32(rem_n, _mm256_set1_epi32(0x1000)), odd_n),
+        );
+        let out_n = _mm256_sub_epi32(out_n, inc_n); // mask is -1 ⇒ subtract to add 1
+
+        // Subnormal candidate: value = (mant | implicit) >> (126 - exp) with
+        // RN-even on the dropped bits. Shift counts are capped at 31 so very
+        // small inputs (including f32 subnormals) cleanly flush to zero.
+        let full = _mm256_or_si256(
+            _mm256_and_si256(bits, _mm256_set1_epi32(0x007f_ffff)),
+            _mm256_set1_epi32(0x0080_0000),
+        );
+        let ts = _mm256_sub_epi32(_mm256_set1_epi32(126), _mm256_srli_epi32::<23>(hab));
+        let ts = _mm256_min_epu32(ts, _mm256_set1_epi32(31));
+        let out_s = _mm256_srlv_epi32(full, ts);
+        let pow = _mm256_sllv_epi32(one, ts);
+        let rem_s = _mm256_and_si256(full, _mm256_sub_epi32(pow, one));
+        let half_s = _mm256_srli_epi32::<1>(pow);
+        let odd_s = _mm256_cmpeq_epi32(_mm256_and_si256(out_s, one), one);
+        let inc_s = _mm256_or_si256(
+            _mm256_cmpgt_epi32(rem_s, half_s),
+            _mm256_and_si256(_mm256_cmpeq_epi32(rem_s, half_s), odd_s),
+        );
+        let out_s = _mm256_sub_epi32(out_s, inc_s);
+
+        let m_sub = _mm256_cmpgt_epi32(_mm256_set1_epi32(0x3880_0000), hab);
+        let m_over = _mm256_cmpgt_epi32(hab, _mm256_set1_epi32(0x477f_ffff));
+        let m_nan = _mm256_cmpgt_epi32(hab, _mm256_set1_epi32(0x7f80_0000));
+        let mut out = _mm256_blendv_epi8(out_n, out_s, m_sub);
+        out = _mm256_blendv_epi8(out, _mm256_set1_epi32(0x7c00), m_over);
+        out = _mm256_blendv_epi8(out, _mm256_set1_epi32(0x7e00), m_nan);
+        out = _mm256_or_si256(out, sign);
+
+        // Pack 8×u32 (≤ 0xffff) → 8×u16 and fix the cross-lane order.
+        let packed = _mm256_packus_epi32(out, out);
+        let packed = _mm256_permute4x64_epi64::<0b00_00_10_00>(packed);
+        _mm_storeu_si128(dp.byte_add(i * 2), _mm256_castsi256_si128(packed));
+        i += LANES;
+    }
+    scalar::f32_to_f16(&src[i..], &mut dst[i..]);
+}
+
+// ---------------------------------------------------------------------------
+// matmul microkernels
+
+#[inline(always)]
+unsafe fn axpy_body<const FMA: bool>(acc: &mut [f32], a: f32, x: &[f32]) {
+    let n = acc.len();
+    let av = _mm256_set1_ps(a);
+    let ap = acc.as_mut_ptr();
+    let xp = x.as_ptr();
+    let mut j = 0;
+    while j + LANES <= n {
+        let o = _mm256_loadu_ps(ap.add(j));
+        let xv = _mm256_loadu_ps(xp.add(j));
+        let o = if FMA {
+            _mm256_fmadd_ps(xv, av, o)
+        } else {
+            _mm256_add_ps(o, _mm256_mul_ps(av, xv))
+        };
+        _mm256_storeu_ps(ap.add(j), o);
+        j += LANES;
+    }
+    scalar::axpy(&mut acc[j..], a, &x[j..], FMA);
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn axpy_plain(acc: &mut [f32], a: f32, x: &[f32]) {
+    axpy_body::<false>(acc, a, x)
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn axpy_fma(acc: &mut [f32], a: f32, x: &[f32]) {
+    axpy_body::<true>(acc, a, x)
+}
+
+/// `acc[j] += a * x[j]`.
+pub unsafe fn axpy(acc: &mut [f32], a: f32, x: &[f32], fma: bool) {
+    if fma { axpy_fma(acc, a, x) } else { axpy_plain(acc, a, x) }
+}
+
+#[inline(always)]
+unsafe fn axpy4_body<const FMA: bool>(acc: &mut [f32], a: [f32; 4], x: [&[f32]; 4]) {
+    let n = acc.len();
+    let av = [
+        _mm256_set1_ps(a[0]),
+        _mm256_set1_ps(a[1]),
+        _mm256_set1_ps(a[2]),
+        _mm256_set1_ps(a[3]),
+    ];
+    let ap = acc.as_mut_ptr();
+    let mut j = 0;
+    while j + LANES <= n {
+        let mut o = _mm256_loadu_ps(ap.add(j));
+        // k-sequential accumulation: identical update order to four axpys.
+        for kk in 0..4 {
+            let xv = _mm256_loadu_ps(x[kk].as_ptr().add(j));
+            o = if FMA {
+                _mm256_fmadd_ps(xv, av[kk], o)
+            } else {
+                _mm256_add_ps(o, _mm256_mul_ps(av[kk], xv))
+            };
+        }
+        _mm256_storeu_ps(ap.add(j), o);
+        j += LANES;
+    }
+    scalar::axpy4(
+        &mut acc[j..],
+        a,
+        [&x[0][j..], &x[1][j..], &x[2][j..], &x[3][j..]],
+        FMA,
+    );
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn axpy4_plain(acc: &mut [f32], a: [f32; 4], x: [&[f32]; 4]) {
+    axpy4_body::<false>(acc, a, x)
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn axpy4_fma(acc: &mut [f32], a: [f32; 4], x: [&[f32]; 4]) {
+    axpy4_body::<true>(acc, a, x)
+}
+
+/// Register-blocked 4-step axpy; numerics match [`scalar::axpy4`].
+pub unsafe fn axpy4(acc: &mut [f32], a: [f32; 4], x: [&[f32]; 4], fma: bool) {
+    if fma { axpy4_fma(acc, a, x) } else { axpy4_plain(acc, a, x) }
+}
+
+#[inline(always)]
+unsafe fn dot_body<const FMA: bool>(x: &[f32], w: &[f32]) -> f32 {
+    let n = x.len();
+    let xp = x.as_ptr();
+    let wp = w.as_ptr();
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + LANES <= n {
+        let xv = _mm256_loadu_ps(xp.add(i));
+        let wv = _mm256_loadu_ps(wp.add(i));
+        acc = if FMA {
+            _mm256_fmadd_ps(xv, wv, acc)
+        } else {
+            _mm256_add_ps(acc, _mm256_mul_ps(xv, wv))
+        };
+        i += LANES;
+    }
+    let mut lanes = [0f32; LANES];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    scalar::dot_tail(&mut lanes, x, w, i, FMA);
+    scalar::sum8(lanes)
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn dot_plain(x: &[f32], w: &[f32]) -> f32 {
+    dot_body::<false>(x, w)
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dot_fma(x: &[f32], w: &[f32]) -> f32 {
+    dot_body::<true>(x, w)
+}
+
+/// Canonical 8-lane dot product.
+pub unsafe fn dot(x: &[f32], w: &[f32], fma: bool) -> f32 {
+    if fma { dot_fma(x, w) } else { dot_plain(x, w) }
+}
+
+#[inline(always)]
+unsafe fn dot4_body<const FMA: bool>(x: &[f32], w: [&[f32]; 4]) -> [f32; 4] {
+    let n = x.len();
+    let xp = x.as_ptr();
+    let mut acc = [_mm256_setzero_ps(); 4];
+    let mut i = 0;
+    while i + LANES <= n {
+        let xv = _mm256_loadu_ps(xp.add(i));
+        for c in 0..4 {
+            let wv = _mm256_loadu_ps(w[c].as_ptr().add(i));
+            acc[c] = if FMA {
+                _mm256_fmadd_ps(xv, wv, acc[c])
+            } else {
+                _mm256_add_ps(acc[c], _mm256_mul_ps(xv, wv))
+            };
+        }
+        i += LANES;
+    }
+    let mut out = [0f32; 4];
+    for c in 0..4 {
+        let mut lanes = [0f32; LANES];
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc[c]);
+        scalar::dot_tail(&mut lanes, x, w[c], i, FMA);
+        out[c] = scalar::sum8(lanes);
+    }
+    out
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn dot4_plain(x: &[f32], w: [&[f32]; 4]) -> [f32; 4] {
+    dot4_body::<false>(x, w)
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn dot4_fma(x: &[f32], w: [&[f32]; 4]) -> [f32; 4] {
+    dot4_body::<true>(x, w)
+}
+
+/// Four dot products sharing each load of `x`.
+pub unsafe fn dot4(x: &[f32], w: [&[f32]; 4], fma: bool) -> [f32; 4] {
+    if fma { dot4_fma(x, w) } else { dot4_plain(x, w) }
+}
+
+/// Canonical 8-lane sum.
+#[target_feature(enable = "avx2")]
+pub unsafe fn vec_sum(x: &[f32]) -> f32 {
+    let n = x.len();
+    let xp = x.as_ptr();
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + LANES <= n {
+        acc = _mm256_add_ps(acc, _mm256_loadu_ps(xp.add(i)));
+        i += LANES;
+    }
+    let mut lanes = [0f32; LANES];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    for (j, &v) in x[i..].iter().enumerate() {
+        lanes[j] += v;
+    }
+    scalar::sum8(lanes)
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn vec_center_sumsq(x: &[f32], mean: f32) -> f32 {
+    let n = x.len();
+    let xp = x.as_ptr();
+    let mv = _mm256_set1_ps(mean);
+    let mut acc = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + LANES <= n {
+        let d = _mm256_sub_ps(_mm256_loadu_ps(xp.add(i)), mv);
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(d, d));
+        i += LANES;
+    }
+    let mut lanes = [0f32; LANES];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+    for (j, &v) in x[i..].iter().enumerate() {
+        let d = v - mean;
+        lanes[j] += d * d;
+    }
+    scalar::sum8(lanes)
+}
+
+// ---------------------------------------------------------------------------
+// gelu
+
+/// Vector mirror of [`scalar::exp_approx`] (plain mul/add, never FMA).
+#[inline(always)]
+unsafe fn exp_approx_v(z: __m256) -> __m256 {
+    let y = _mm256_mul_ps(z, _mm256_set1_ps(std::f32::consts::LOG2_E));
+    let kf = _mm256_round_ps::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(y);
+    let r = _mm256_sub_ps(y, kf);
+    let w = _mm256_mul_ps(r, _mm256_set1_ps(std::f32::consts::LN_2));
+    let mut p = _mm256_set1_ps(1.0 / 720.0);
+    for c in [1.0 / 120.0, 1.0 / 24.0, 1.0 / 6.0, 0.5, 1.0, 1.0] {
+        p = _mm256_add_ps(_mm256_mul_ps(p, w), _mm256_set1_ps(c));
+    }
+    let k = _mm256_cvtps_epi32(kf);
+    let scale = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+        k,
+        _mm256_set1_epi32(127),
+    )));
+    _mm256_mul_ps(p, scale)
+}
+
+/// Vector mirror of [`scalar::tanh_half_approx`].
+#[inline(always)]
+unsafe fn tanh_half_v(z: __m256) -> __m256 {
+    let clamp = _mm256_set1_ps(18.0);
+    let z = _mm256_max_ps(_mm256_min_ps(z, clamp), _mm256_sub_ps(_mm256_setzero_ps(), clamp));
+    let e = exp_approx_v(z);
+    let one = _mm256_set1_ps(1.0);
+    _mm256_div_ps(_mm256_sub_ps(e, one), _mm256_add_ps(e, one))
+}
+
+#[inline(always)]
+unsafe fn gelu_t_v(x: __m256) -> (__m256, __m256) {
+    let x2 = _mm256_mul_ps(x, x);
+    let x3 = _mm256_mul_ps(x2, x);
+    let inner = _mm256_mul_ps(
+        _mm256_set1_ps(scalar::GELU_C),
+        _mm256_add_ps(x, _mm256_mul_ps(_mm256_set1_ps(scalar::GELU_A), x3)),
+    );
+    let t = tanh_half_v(_mm256_add_ps(inner, inner));
+    (t, x2)
+}
+
+/// Elementwise GELU (tanh approximation).
+#[target_feature(enable = "avx2")]
+pub unsafe fn gelu(x: &[f32], out: &mut [f32]) {
+    let n = x.len();
+    let xp = x.as_ptr();
+    let op = out.as_mut_ptr();
+    let one = _mm256_set1_ps(1.0);
+    let halfv = _mm256_set1_ps(0.5);
+    let mut i = 0;
+    while i + LANES <= n {
+        let xv = _mm256_loadu_ps(xp.add(i));
+        let (t, _) = gelu_t_v(xv);
+        let r = _mm256_mul_ps(_mm256_mul_ps(halfv, xv), _mm256_add_ps(one, t));
+        _mm256_storeu_ps(op.add(i), r);
+        i += LANES;
+    }
+    scalar::gelu(&x[i..], &mut out[i..]);
+}
+
+/// Elementwise `out[i] = dy[i] * gelu'(x[i])`.
+#[target_feature(enable = "avx2")]
+pub unsafe fn gelu_grad(x: &[f32], dy: &[f32], out: &mut [f32]) {
+    let n = x.len();
+    let xp = x.as_ptr();
+    let gp = dy.as_ptr();
+    let op = out.as_mut_ptr();
+    let one = _mm256_set1_ps(1.0);
+    let halfv = _mm256_set1_ps(0.5);
+    let c = _mm256_set1_ps(scalar::GELU_C);
+    let a3 = _mm256_set1_ps(3.0 * scalar::GELU_A);
+    let mut i = 0;
+    while i + LANES <= n {
+        let xv = _mm256_loadu_ps(xp.add(i));
+        let (t, x2) = gelu_t_v(xv);
+        let dinner = _mm256_mul_ps(c, _mm256_add_ps(one, _mm256_mul_ps(a3, x2)));
+        let sech2 = _mm256_sub_ps(one, _mm256_mul_ps(t, t));
+        let grad = _mm256_add_ps(
+            _mm256_mul_ps(halfv, _mm256_add_ps(one, t)),
+            _mm256_mul_ps(_mm256_mul_ps(_mm256_mul_ps(halfv, xv), sech2), dinner),
+        );
+        _mm256_storeu_ps(op.add(i), _mm256_mul_ps(_mm256_loadu_ps(gp.add(i)), grad));
+        i += LANES;
+    }
+    scalar::gelu_grad(&x[i..], &dy[i..], &mut out[i..]);
+}
+
+// ---------------------------------------------------------------------------
+// layernorm
+
+/// One row of layer normalization; returns `(mean, rstd)`.
+#[target_feature(enable = "avx2")]
+pub unsafe fn layernorm_row(
+    x: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    out: &mut [f32],
+) -> (f32, f32) {
+    let n = x.len();
+    let inv_n = 1.0 / n as f32;
+    let mean = vec_sum(x) * inv_n;
+    let var = vec_center_sumsq(x, mean) * inv_n;
+    let rstd = 1.0 / (var + eps).sqrt();
+    let mv = _mm256_set1_ps(mean);
+    let rv = _mm256_set1_ps(rstd);
+    let xp = x.as_ptr();
+    let gp = gamma.as_ptr();
+    let bp = beta.as_ptr();
+    let op = out.as_mut_ptr();
+    let mut j = 0;
+    while j + LANES <= n {
+        let xh = _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(xp.add(j)), mv), rv);
+        let r = _mm256_add_ps(
+            _mm256_mul_ps(xh, _mm256_loadu_ps(gp.add(j))),
+            _mm256_loadu_ps(bp.add(j)),
+        );
+        _mm256_storeu_ps(op.add(j), r);
+        j += LANES;
+    }
+    for jj in j..n {
+        out[jj] = ((x[jj] - mean) * rstd) * gamma[jj] + beta[jj];
+    }
+    (mean, rstd)
+}
+
+/// One row of the layer-norm backward pass; numerics match
+/// [`scalar::layernorm_backward_row`].
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+pub unsafe fn layernorm_backward_row(
+    x: &[f32],
+    dy: &[f32],
+    gamma: &[f32],
+    mean: f32,
+    rstd: f32,
+    dx: &mut [f32],
+    dgamma: &mut [f32],
+    dbeta: &mut [f32],
+) {
+    let n = x.len();
+    let mv = _mm256_set1_ps(mean);
+    let rv = _mm256_set1_ps(rstd);
+    let xp = x.as_ptr();
+    let yp = dy.as_ptr();
+    let gp = gamma.as_ptr();
+    let dgp = dgamma.as_mut_ptr();
+    let dbp = dbeta.as_mut_ptr();
+    let mut va = _mm256_setzero_ps();
+    let mut vb = _mm256_setzero_ps();
+    let mut i = 0;
+    while i + LANES <= n {
+        let xh = _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(xp.add(i)), mv), rv);
+        let dyv = _mm256_loadu_ps(yp.add(i));
+        let dyg = _mm256_mul_ps(dyv, _mm256_loadu_ps(gp.add(i)));
+        va = _mm256_add_ps(va, dyg);
+        vb = _mm256_add_ps(vb, _mm256_mul_ps(dyg, xh));
+        let dg = _mm256_add_ps(_mm256_loadu_ps(dgp.add(i)), _mm256_mul_ps(dyv, xh));
+        _mm256_storeu_ps(dgp.add(i), dg);
+        let db = _mm256_add_ps(_mm256_loadu_ps(dbp.add(i)), dyv);
+        _mm256_storeu_ps(dbp.add(i), db);
+        i += LANES;
+    }
+    let mut la = [0f32; LANES];
+    let mut lb = [0f32; LANES];
+    _mm256_storeu_ps(la.as_mut_ptr(), va);
+    _mm256_storeu_ps(lb.as_mut_ptr(), vb);
+    for j in i..n {
+        let xhat = (x[j] - mean) * rstd;
+        let dyg = dy[j] * gamma[j];
+        la[j - i] += dyg;
+        lb[j - i] += dyg * xhat;
+        dgamma[j] += dy[j] * xhat;
+        dbeta[j] += dy[j];
+    }
+    let inv_n = 1.0 / n as f32;
+    let s1 = inv_n * scalar::sum8(la);
+    let s2 = inv_n * scalar::sum8(lb);
+    let s1v = _mm256_set1_ps(s1);
+    let s2v = _mm256_set1_ps(s2);
+    let dxp = dx.as_mut_ptr();
+    let mut j = 0;
+    while j + LANES <= n {
+        let xh = _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(xp.add(j)), mv), rv);
+        let dyg = _mm256_mul_ps(_mm256_loadu_ps(yp.add(j)), _mm256_loadu_ps(gp.add(j)));
+        let r = _mm256_mul_ps(
+            rv,
+            _mm256_sub_ps(_mm256_sub_ps(dyg, s1v), _mm256_mul_ps(xh, s2v)),
+        );
+        _mm256_storeu_ps(dxp.add(j), r);
+        j += LANES;
+    }
+    for jj in j..n {
+        let xhat = (x[jj] - mean) * rstd;
+        let dyg = dy[jj] * gamma[jj];
+        dx[jj] = rstd * ((dyg - s1) - xhat * s2);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// adam
+
+#[inline(always)]
+unsafe fn adam_body<const FMA: bool>(
+    p: &AdamParams,
+    master: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    grad: &[f32],
+    publish: Option<&mut [f32]>,
+) {
+    let n = master.len();
+    let b1 = _mm256_set1_ps(p.beta1);
+    let b2 = _mm256_set1_ps(p.beta2);
+    let omb1 = _mm256_set1_ps(p.one_minus_beta1);
+    let omb2 = _mm256_set1_ps(p.one_minus_beta2);
+    let bc1 = _mm256_set1_ps(p.bc1);
+    let bc2 = _mm256_set1_ps(p.bc2);
+    let lr = _mm256_set1_ps(p.lr);
+    let eps = _mm256_set1_ps(p.eps);
+    let wd = _mm256_set1_ps(p.weight_decay);
+    let mp = master.as_mut_ptr();
+    let mmp = m.as_mut_ptr();
+    let vp = v.as_mut_ptr();
+    let gp = grad.as_ptr();
+    let pubp = publish.as_ref().map(|s| s.as_ptr() as *mut f32);
+    let mut i = 0;
+    while i + LANES <= n {
+        let g = _mm256_loadu_ps(gp.add(i));
+        let mo = _mm256_loadu_ps(mmp.add(i));
+        let vo = _mm256_loadu_ps(vp.add(i));
+        let po = _mm256_loadu_ps(mp.add(i));
+        let (mn, vn) = if FMA {
+            let mn = _mm256_fmadd_ps(mo, b1, _mm256_mul_ps(omb1, g));
+            let vn = _mm256_fmadd_ps(_mm256_mul_ps(omb2, g), g, _mm256_mul_ps(b2, vo));
+            (mn, vn)
+        } else {
+            let mn = _mm256_add_ps(_mm256_mul_ps(b1, mo), _mm256_mul_ps(omb1, g));
+            let vn = _mm256_add_ps(
+                _mm256_mul_ps(b2, vo),
+                _mm256_mul_ps(_mm256_mul_ps(omb2, g), g),
+            );
+            (mn, vn)
+        };
+        _mm256_storeu_ps(mmp.add(i), mn);
+        _mm256_storeu_ps(vp.add(i), vn);
+        let m_hat = _mm256_div_ps(mn, bc1);
+        let v_hat = _mm256_div_ps(vn, bc2);
+        let den = _mm256_add_ps(_mm256_sqrt_ps(v_hat), eps);
+        let update = _mm256_add_ps(_mm256_div_ps(m_hat, den), _mm256_mul_ps(wd, po));
+        let pn = _mm256_sub_ps(po, _mm256_mul_ps(lr, update));
+        _mm256_storeu_ps(mp.add(i), pn);
+        if let Some(out) = pubp {
+            _mm256_storeu_ps(out.add(i), pn);
+        }
+        i += LANES;
+    }
+    for j in i..n {
+        scalar::adam_one(p, &mut master[j], &mut m[j], &mut v[j], grad[j], FMA);
+        if let Some(out) = pubp {
+            *out.add(j) = master[j];
+        }
+    }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn adam_plain(
+    p: &AdamParams,
+    master: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    grad: &[f32],
+    publish: Option<&mut [f32]>,
+) {
+    adam_body::<false>(p, master, m, v, grad, publish)
+}
+
+#[target_feature(enable = "avx2,fma")]
+unsafe fn adam_fma(
+    p: &AdamParams,
+    master: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    grad: &[f32],
+    publish: Option<&mut [f32]>,
+) {
+    adam_body::<true>(p, master, m, v, grad, publish)
+}
+
+/// Elementwise Adam chunk update with optional fused publish.
+pub unsafe fn adam_chunk(
+    p: &AdamParams,
+    master: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    grad: &[f32],
+    publish: Option<&mut [f32]>,
+    fma: bool,
+) {
+    if fma {
+        adam_fma(p, master, m, v, grad, publish)
+    } else {
+        adam_plain(p, master, m, v, grad, publish)
+    }
+}

@@ -8,6 +8,48 @@ use zi_types::{DType, Error, Result};
 
 use crate::f16::F16;
 
+/// Reinterpret little-endian buffer bytes as `F16` values when the
+/// allocation happens to be 2-byte aligned (virtually always), letting
+/// conversions run through the SIMD slice kernels instead of an
+/// element-at-a-time decode. Returns `None` on misalignment or on
+/// big-endian targets, where callers fall back to the portable path.
+#[inline]
+fn bytes_as_f16(bytes: &[u8]) -> Option<&[F16]> {
+    if cfg!(target_endian = "big") {
+        return None;
+    }
+    // SAFETY: F16 is repr(transparent) over u16 and every bit pattern is
+    // a valid F16; align_to guarantees the mid slice is aligned.
+    let (pre, mid, suf) = unsafe { bytes.align_to::<F16>() };
+    (pre.is_empty() && suf.is_empty()).then_some(mid)
+}
+
+/// Mutable variant of [`bytes_as_f16`].
+#[inline]
+fn bytes_as_f16_mut(bytes: &mut [u8]) -> Option<&mut [F16]> {
+    if cfg!(target_endian = "big") {
+        return None;
+    }
+    // SAFETY: as in `bytes_as_f16`.
+    let (pre, mid, suf) = unsafe { bytes.align_to_mut::<F16>() };
+    if pre.is_empty() && suf.is_empty() {
+        Some(mid)
+    } else {
+        None
+    }
+}
+
+/// Reinterpret little-endian buffer bytes as `f32` when 4-byte aligned.
+#[inline]
+fn bytes_as_f32(bytes: &[u8]) -> Option<&[f32]> {
+    if cfg!(target_endian = "big") {
+        return None;
+    }
+    // SAFETY: every bit pattern is a valid f32.
+    let (pre, mid, suf) = unsafe { bytes.align_to::<f32>() };
+    (pre.is_empty() && suf.is_empty()).then_some(mid)
+}
+
 /// A flat, dtype-tagged byte buffer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FlatBuffer {
@@ -76,13 +118,21 @@ impl FlatBuffer {
         let mut out = vec![0f32; n];
         match self.dtype {
             DType::F32 => {
-                for (i, chunk) in self.bytes.chunks_exact(4).enumerate() {
-                    out[i] = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                if let Some(vals) = bytes_as_f32(&self.bytes) {
+                    out.copy_from_slice(vals);
+                } else {
+                    for (i, chunk) in self.bytes.chunks_exact(4).enumerate() {
+                        out[i] = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                    }
                 }
             }
             DType::F16 => {
-                for (i, chunk) in self.bytes.chunks_exact(2).enumerate() {
-                    out[i] = F16::from_bits(u16::from_le_bytes([chunk[0], chunk[1]])).to_f32();
+                if let Some(halves) = bytes_as_f16(&self.bytes) {
+                    crate::simd::f16_to_f32_slice(halves, &mut out);
+                } else {
+                    for (i, chunk) in self.bytes.chunks_exact(2).enumerate() {
+                        out[i] = F16::from_bits(u16::from_le_bytes([chunk[0], chunk[1]])).to_f32();
+                    }
                 }
             }
         }
@@ -98,14 +148,23 @@ impl FlatBuffer {
         out.clear();
         match self.dtype {
             DType::F32 => {
-                out.extend(self.bytes.chunks_exact(4).map(|chunk| {
-                    f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]])
-                }));
+                if let Some(vals) = bytes_as_f32(&self.bytes) {
+                    out.extend_from_slice(vals);
+                } else {
+                    out.extend(self.bytes.chunks_exact(4).map(|chunk| {
+                        f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]])
+                    }));
+                }
             }
             DType::F16 => {
-                out.extend(self.bytes.chunks_exact(2).map(|chunk| {
-                    F16::from_bits(u16::from_le_bytes([chunk[0], chunk[1]])).to_f32()
-                }));
+                if let Some(halves) = bytes_as_f16(&self.bytes) {
+                    out.resize(halves.len(), 0.0);
+                    crate::simd::f16_to_f32_slice(halves, out);
+                } else {
+                    out.extend(self.bytes.chunks_exact(2).map(|chunk| {
+                        F16::from_bits(u16::from_le_bytes([chunk[0], chunk[1]])).to_f32()
+                    }));
+                }
             }
         }
     }
@@ -154,8 +213,12 @@ impl FlatBuffer {
                 }
             }
             DType::F16 => {
-                for (chunk, v) in self.bytes.chunks_exact_mut(2).zip(values) {
-                    chunk.copy_from_slice(&F16::from_f32(*v).to_bits().to_le_bytes());
+                if let Some(halves) = bytes_as_f16_mut(&mut self.bytes) {
+                    crate::simd::f32_to_f16_slice(values, halves);
+                } else {
+                    for (chunk, v) in self.bytes.chunks_exact_mut(2).zip(values) {
+                        chunk.copy_from_slice(&F16::from_f32(*v).to_bits().to_le_bytes());
+                    }
                 }
             }
         }

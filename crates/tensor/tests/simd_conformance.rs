@@ -1,0 +1,327 @@
+//! SIMD ↔ scalar conformance suite.
+//!
+//! Two guarantees are pinned here:
+//!
+//! 1. **f16 conformance** — the vectorized converters agree with the
+//!    canonical [`F16`] bit algorithms on *every* representable input:
+//!    all 65,536 half bit patterns for `to_f32`, and the full
+//!    round-to-nearest-even edge catalogue (subnormals, halfway cases,
+//!    ±inf, NaN canonicalization, the MAX→inf rounding carry) for
+//!    `from_f32`.
+//! 2. **Bit-identity** — every kernel produces byte-identical results
+//!    under the scalar and the auto-detected SIMD backend, in both FMA
+//!    states. This is what keeps elastic resume and the strategy
+//!    equivalence tests exact across heterogeneous fleets.
+//!
+//! Backend forcing mutates process-global state, so every test funnels
+//! through a mutex-guarded helper that restores auto dispatch on exit.
+//!
+//! The explicit-SIMD paths use raw intrinsics Miri cannot interpret, so
+//! the whole suite is compiled out under Miri (the scalar algorithms
+//! they are compared against are covered by the unit tests in-crate).
+#![cfg(not(miri))]
+
+use std::sync::{Mutex, OnceLock};
+
+use zi_tensor::f16::F16;
+use zi_tensor::ops;
+use zi_tensor::simd::{self, AdamParams, Backend};
+use zi_tensor::Tensor;
+
+/// Serialize tests that flip the global backend/FMA overrides.
+fn with_backend<T>(b: Option<Backend>, fma: Option<bool>, f: impl FnOnce() -> T) -> T {
+    static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+    let _g = GUARD.get_or_init(|| Mutex::new(())).lock().unwrap();
+    simd::force_backend(b);
+    simd::force_fma(fma);
+    let out = f();
+    simd::force_backend(None);
+    simd::force_fma(None);
+    out
+}
+
+/// Deterministic pseudo-random f32s spanning many exponent ranges.
+fn lcg_f32s(n: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // Mix wide exponents in: every 7th value is scaled far up/down.
+            let u = (state >> 33) as u32;
+            let base = (u as f32 / u32::MAX as f32) * 8.0 - 4.0;
+            match state % 7 {
+                0 => base * 1e-6,
+                1 => base * 1e6,
+                _ => base,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: exhaustive f16 conformance.
+
+#[test]
+fn f16_to_f32_agrees_on_all_65536_bit_patterns() {
+    // One pass through every half bit pattern, converted as a single
+    // slice so the vector body (not just the tail) sees all of them.
+    let halves: Vec<F16> = (0..=u16::MAX).map(F16::from_bits).collect();
+    let mut out = vec![0f32; halves.len()];
+    with_backend(None, None, || simd::f16_to_f32_slice(&halves, &mut out));
+    for (h, got) in halves.iter().zip(&out) {
+        let want = h.to_f32();
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "pattern {:#06x}: simd {got:?} vs scalar {want:?}",
+            h.to_bits()
+        );
+    }
+}
+
+#[test]
+fn f16_from_f32_round_to_nearest_even_edges() {
+    let mut cases: Vec<f32> = vec![
+        0.0,
+        -0.0,
+        1.0,
+        -1.0,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::NAN,
+        -f32::NAN,
+        f32::from_bits(0x7f800001), // signaling-ish NaN payload
+        f32::from_bits(0xffc01234), // negative NaN payload
+        65504.0,                    // F16::MAX
+        65503.0,                    // rounds down to MAX
+        65519.9,                    // just under the halfway-to-inf point
+        65520.0,                    // halfway: RN-even carries into infinity
+        65521.0,                    // above halfway: infinity
+        1e6,
+        -1e6,
+        f32::MAX,
+        f32::MIN_POSITIVE,          // f32 normal far below half subnormals
+        f32::from_bits(1),          // smallest f32 subnormal
+        -f32::from_bits(1),
+    ];
+    // Half subnormal boundaries: 2^-24 (smallest), 1023*2^-24 (largest),
+    // the flush-to-zero threshold 2^-25 and its neighbours.
+    cases.extend([
+        2.0f32.powi(-24),
+        -(2.0f32.powi(-24)),
+        1023.0 * 2.0f32.powi(-24),
+        2.0f32.powi(-25),           // exactly half the smallest subnormal: RN-even → 0
+        2.0f32.powi(-25) * 1.0000001, // just above: rounds to the smallest subnormal
+        2.0f32.powi(-26),           // flushes to (signed) zero
+        -(2.0f32.powi(-26)),
+        3.0 * 2.0f32.powi(-25),     // halfway between subnormals 1 and 2 → even (2)
+    ]);
+    // Normal-range halfway cases around 1.0.
+    cases.extend([
+        1.0 + 2.0f32.powi(-11),       // halfway, even mantissa stays
+        1.0 + 3.0 * 2.0f32.powi(-11), // halfway, odd mantissa rounds up
+        1.0 + 2.0f32.powi(-10),       // representable exactly
+    ]);
+    // Subnormal→normal boundary.
+    cases.extend([2.0f32.powi(-14), 2.0f32.powi(-14) * 0.9999999]);
+    // And a broad random sweep for everything in between.
+    cases.extend(lcg_f32s(4096, 0x5eed));
+
+    let mut out = vec![F16::ZERO; cases.len()];
+    with_backend(None, None, || simd::f32_to_f16_slice(&cases, &mut out));
+    for (x, got) in cases.iter().zip(&out) {
+        let want = F16::from_f32(*x);
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "input {x:?} ({:#010x}): simd {:#06x} vs scalar {:#06x}",
+            x.to_bits(),
+            got.to_bits(),
+            want.to_bits()
+        );
+    }
+}
+
+#[test]
+fn f16_nan_payloads_canonicalize_identically() {
+    // Every NaN must collapse to sign | 0x7e00 on both paths.
+    let nans: Vec<f32> = (0..64)
+        .flat_map(|i| {
+            let payload = 1u32 << (i % 23).max(1);
+            [
+                f32::from_bits(0x7f80_0000 | payload),
+                f32::from_bits(0xff80_0000 | payload),
+            ]
+        })
+        .collect();
+    let mut out = vec![F16::ZERO; nans.len()];
+    with_backend(None, None, || simd::f32_to_f16_slice(&nans, &mut out));
+    for (x, h) in nans.iter().zip(&out) {
+        let sign = (x.to_bits() >> 16) as u16 & 0x8000;
+        assert_eq!(h.to_bits(), sign | 0x7e00, "NaN {:#010x}", x.to_bits());
+    }
+}
+
+#[test]
+#[ignore = "exhaustive 2^32 sweep; run explicitly with --ignored"]
+fn f16_from_f32_agrees_on_every_f32_bit_pattern() {
+    let mut batch = vec![0f32; 1 << 16];
+    let mut simd_out = vec![F16::ZERO; batch.len()];
+    for hi in 0..=u16::MAX {
+        for lo in 0..batch.len() {
+            batch[lo] = f32::from_bits(((hi as u32) << 16) | lo as u32);
+        }
+        with_backend(None, None, || simd::f32_to_f16_slice(&batch, &mut simd_out));
+        for (x, got) in batch.iter().zip(&simd_out) {
+            assert_eq!(got.to_bits(), F16::from_f32(*x).to_bits(), "input {:#010x}", x.to_bits());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: SIMD ↔ scalar bit-identity for the compute kernels.
+
+/// Run `f` under forced-scalar and auto dispatch and assert the outputs
+/// are byte-identical, in both FMA states.
+fn assert_backend_bit_identity<T: PartialEq + std::fmt::Debug>(
+    name: &str,
+    f: impl Fn() -> T,
+) {
+    for fma in [false, true] {
+        let scalar = with_backend(Some(Backend::Scalar), Some(fma), &f);
+        let auto = with_backend(None, Some(fma), &f);
+        assert_eq!(scalar, auto, "{name}: scalar vs auto diverged (fma={fma})");
+    }
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn matmul_variants_are_bit_identical_across_backends() {
+    // Odd sizes exercise every vector tail; the larger case crosses the
+    // parallel-dispatch threshold and the k-panelling path.
+    for (m, k, n) in [(3, 5, 7), (17, 33, 29), (64, 96, 80)] {
+        let a = Tensor::from_vec(&[m, k], lcg_f32s(m * k, 11)).unwrap();
+        let b = Tensor::from_vec(&[k, n], lcg_f32s(k * n, 22)).unwrap();
+        let bt = Tensor::from_vec(&[n, k], lcg_f32s(n * k, 33)).unwrap();
+        let am = Tensor::from_vec(&[k, m], lcg_f32s(k * m, 44)).unwrap();
+        assert_backend_bit_identity(&format!("matmul {m}x{k}x{n}"), || {
+            bits(&ops::matmul(&a, &b).unwrap())
+        });
+        assert_backend_bit_identity(&format!("matmul_nt {m}x{k}x{n}"), || {
+            bits(&ops::matmul_nt(&a, &bt).unwrap())
+        });
+        assert_backend_bit_identity(&format!("matmul_tn {m}x{k}x{n}"), || {
+            bits(&ops::matmul_tn(&am, &b).unwrap())
+        });
+        assert_backend_bit_identity(&format!("matmul_blocked {m}x{k}x{n}"), || {
+            bits(&ops::matmul_blocked(&a, &b).unwrap())
+        });
+    }
+}
+
+#[test]
+fn gelu_and_backward_are_bit_identical_across_backends() {
+    let x = Tensor::from_vec(&[61, 37], lcg_f32s(61 * 37, 55)).unwrap();
+    let dy = Tensor::from_vec(&[61, 37], lcg_f32s(61 * 37, 66)).unwrap();
+    assert_backend_bit_identity("gelu", || bits(&ops::gelu(&x)));
+    assert_backend_bit_identity("gelu_backward", || {
+        bits(&ops::gelu_backward(&x, &dy).unwrap())
+    });
+}
+
+#[test]
+fn layernorm_and_backward_are_bit_identical_across_backends() {
+    for n in [8usize, 13, 64, 100] {
+        let rows = 9;
+        let x = Tensor::from_vec(&[rows, n], lcg_f32s(rows * n, 77)).unwrap();
+        let gamma: Vec<f32> = lcg_f32s(n, 88);
+        let beta: Vec<f32> = lcg_f32s(n, 99);
+        let dy = Tensor::from_vec(&[rows, n], lcg_f32s(rows * n, 111)).unwrap();
+        assert_backend_bit_identity(&format!("layernorm n={n}"), || {
+            let (out, stats) = ops::layernorm(&x, &gamma, &beta, 1e-5).unwrap();
+            (
+                bits(&out),
+                stats.mean.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                stats.rstd.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            )
+        });
+        assert_backend_bit_identity(&format!("layernorm_backward n={n}"), || {
+            let (_, stats) = ops::layernorm(&x, &gamma, &beta, 1e-5).unwrap();
+            let (dx, dgamma, dbeta) = ops::layernorm_backward(&x, &dy, &gamma, &stats).unwrap();
+            (
+                bits(&dx),
+                dgamma.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                dbeta.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            )
+        });
+    }
+}
+
+#[test]
+fn adam_chunk_is_bit_identical_across_backends() {
+    for n in [7usize, 64, 1000] {
+        let params = AdamParams {
+            beta1: 0.9,
+            beta2: 0.999,
+            one_minus_beta1: 0.1,
+            one_minus_beta2: 0.001,
+            bc1: 1.0 - 0.9f32.powi(3),
+            bc2: 1.0 - 0.999f32.powi(3),
+            lr: 1e-3,
+            eps: 1e-8,
+            weight_decay: 0.01,
+        };
+        let master0 = lcg_f32s(n, 123);
+        let m0 = lcg_f32s(n, 234);
+        let v0: Vec<f32> = lcg_f32s(n, 345).iter().map(|v| v.abs()).collect();
+        let grad = lcg_f32s(n, 456);
+        assert_backend_bit_identity(&format!("adam_chunk n={n}"), || {
+            let mut master = master0.clone();
+            let mut m = m0.clone();
+            let mut v = v0.clone();
+            let mut publish = vec![0f32; n];
+            simd::adam_chunk(&params, &mut master, &mut m, &mut v, &grad, Some(&mut publish));
+            [master, m, v, publish]
+                .map(|vs| vs.iter().map(|x| x.to_bits()).collect::<Vec<_>>())
+        });
+    }
+}
+
+#[test]
+fn microkernels_are_bit_identical_across_backends() {
+    let x = lcg_f32s(133, 3);
+    let w = lcg_f32s(133, 4);
+    let w2 = lcg_f32s(133, 5);
+    let w3 = lcg_f32s(133, 6);
+    let w4 = lcg_f32s(133, 7);
+    assert_backend_bit_identity("dot", || simd::dot(&x, &w).to_bits());
+    assert_backend_bit_identity("dot4", || {
+        simd::dot4(&x, [&w, &w2, &w3, &w4]).map(f32::to_bits)
+    });
+    assert_backend_bit_identity("vec_sum", || simd::vec_sum(&x).to_bits());
+    assert_backend_bit_identity("axpy", || {
+        let mut acc = w.clone();
+        simd::axpy(&mut acc, 1.37, &x);
+        acc.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    });
+    assert_backend_bit_identity("axpy4", || {
+        let mut acc = x.clone();
+        simd::axpy4(&mut acc, [0.5, -1.25, 2.0, 0.125], [&w, &w2, &w3, &w4]);
+        acc.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    });
+}
+
+#[test]
+fn fma_knob_defaults_to_bit_identical_canonical_path() {
+    // With the knob untouched, forced-scalar and auto must agree AND
+    // match the explicit fma=false path: FMA contraction is opt-in.
+    let x = lcg_f32s(97, 8);
+    let w = lcg_f32s(97, 9);
+    let default_auto = with_backend(None, None, || simd::dot(&x, &w).to_bits());
+    let plain_scalar =
+        with_backend(Some(Backend::Scalar), Some(false), || simd::dot(&x, &w).to_bits());
+    assert_eq!(default_auto, plain_scalar, "default dispatch must be the unfused canonical path");
+}

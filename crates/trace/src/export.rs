@@ -24,11 +24,12 @@ pub fn chrome_trace_json(events: &[Event], counters: &CounterSnapshot) -> String
         push_json_str(&mut out, ev.cat.label());
         out.push_str(&format!(
             ",\"ph\":\"{ph}\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\
-             \"args\":{{\"bytes\":{},\"id\":{}}}",
+             \"args\":{{\"bytes\":{},\"flops\":{},\"id\":{}}}",
             fmt_f64(ev.start_ns as f64 / 1e3),
             fmt_f64(ev.dur_ns as f64 / 1e3),
             ev.tid,
             ev.bytes,
+            ev.flops,
             ev.id,
         ));
         if ev.dur_ns == 0 {
@@ -332,6 +333,8 @@ pub struct ParsedSpan {
     pub tid: u64,
     /// Payload bytes from `args`.
     pub bytes: u64,
+    /// Floating-point operation count from `args`.
+    pub flops: u64,
     /// Correlation id from `args`.
     pub id: u64,
 }
@@ -386,6 +389,7 @@ pub fn parse_chrome_trace(input: &str) -> Result<ChromeTrace, String> {
             dur_us: field_num("dur"),
             tid: field_num("tid") as u64,
             bytes: args_num("bytes") as u64,
+            flops: args_num("flops") as u64,
             id: args_num("id") as u64,
         });
     }

@@ -124,6 +124,8 @@ pub struct Event {
     pub dur_ns: u64,
     /// Payload size in bytes, when the event moves data.
     pub bytes: u64,
+    /// Floating-point operations performed, when the event computes.
+    pub flops: u64,
     /// Free-form correlation id (step number, ticket, param id, …).
     pub id: u64,
     /// Trace-local thread id of the recording thread.
@@ -427,9 +429,9 @@ impl Tracer {
     /// Open a span; it records itself when the returned guard drops.
     pub fn span(&self, cat: Category, name: &'static str) -> Span<'_> {
         if !self.inner.enabled {
-            return Span { tracer: None, cat, name, start_ns: 0, bytes: 0, id: 0 };
+            return Span { tracer: None, cat, name, start_ns: 0, bytes: 0, flops: 0, id: 0 };
         }
-        Span { tracer: Some(self), cat, name, start_ns: self.now_ns(), bytes: 0, id: 0 }
+        Span { tracer: Some(self), cat, name, start_ns: self.now_ns(), bytes: 0, flops: 0, id: 0 }
     }
 
     /// Record an instantaneous (zero-duration) event.
@@ -437,7 +439,7 @@ impl Tracer {
         if !self.inner.enabled {
             return;
         }
-        let ev = Event { cat, name, start_ns: self.now_ns(), dur_ns: 0, bytes, id, tid: 0 };
+        let ev = Event { cat, name, start_ns: self.now_ns(), dur_ns: 0, bytes, flops: 0, id, tid: 0 };
         self.record(ev);
     }
 
@@ -574,6 +576,7 @@ pub struct Span<'a> {
     name: &'static str,
     start_ns: u64,
     bytes: u64,
+    flops: u64,
     id: u64,
 }
 
@@ -581,6 +584,12 @@ impl Span<'_> {
     /// Attach a payload size to the span.
     pub fn set_bytes(&mut self, bytes: u64) {
         self.bytes = bytes;
+    }
+
+    /// Attach a floating-point operation count to the span, so reports
+    /// can derive effective GFLOP/s for compute kernels.
+    pub fn set_flops(&mut self, flops: u64) {
+        self.flops = flops;
     }
 
     /// Attach a correlation id to the span.
@@ -599,6 +608,7 @@ impl Drop for Span<'_> {
                 start_ns: self.start_ns,
                 dur_ns: end.saturating_sub(self.start_ns),
                 bytes: self.bytes,
+                flops: self.flops,
                 id: self.id,
                 tid: 0,
             });

@@ -260,12 +260,96 @@ impl OverlapReport {
     }
 }
 
+/// Aggregate throughput numbers for one named compute kernel.
+///
+/// Built from [`Category::Compute`] spans by [`compute_kernel_stats`];
+/// `bytes` and `flops` are whatever the kernels attached via
+/// [`crate::Span::set_bytes`] / [`crate::Span::set_flops`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelStat {
+    /// Static span name, e.g. `"tile_matmul"`.
+    pub name: &'static str,
+    /// Number of spans folded in.
+    pub spans: u64,
+    /// Summed span duration, ns.
+    pub total_ns: u64,
+    /// Summed payload bytes.
+    pub bytes: u64,
+    /// Summed floating-point operations.
+    pub flops: u64,
+}
+
+impl KernelStat {
+    /// Effective memory throughput in GB/s (0 when no time was recorded).
+    pub fn gbps(&self) -> f64 {
+        if self.total_ns == 0 {
+            return 0.0;
+        }
+        self.bytes as f64 / self.total_ns as f64
+    }
+
+    /// Effective arithmetic throughput in GFLOP/s (0 when no time was
+    /// recorded).
+    pub fn gflops(&self) -> f64 {
+        if self.total_ns == 0 {
+            return 0.0;
+        }
+        self.flops as f64 / self.total_ns as f64
+    }
+}
+
+/// Fold per-kernel compute throughput out of a flat event stream.
+///
+/// Groups [`Category::Compute`] duration spans (skipping the
+/// [`STEP_SPAN`] envelopes) by name and sums their time, bytes and
+/// flops. Returns stats sorted by descending total time, so the
+/// dominant kernel leads — this is what `zi-adapt` and the kernel
+/// bench read to judge the compute/I/O balance.
+pub fn compute_kernel_stats(events: &[Event]) -> Vec<KernelStat> {
+    let mut by_name: BTreeMap<&'static str, KernelStat> = BTreeMap::new();
+    for e in events {
+        if e.cat != Category::Compute || e.name == STEP_SPAN || e.dur_ns == 0 {
+            continue;
+        }
+        let st = by_name.entry(e.name).or_insert(KernelStat { name: e.name, ..KernelStat::default() });
+        st.spans += 1;
+        st.total_ns += e.dur_ns;
+        st.bytes += e.bytes;
+        st.flops += e.flops;
+    }
+    let mut out: Vec<KernelStat> = by_name.into_values().collect();
+    out.sort_by_key(|st| std::cmp::Reverse(st.total_ns));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn ev(cat: Category, name: &'static str, start: u64, dur: u64, bytes: u64, id: u64) -> Event {
-        Event { cat, name, start_ns: start, dur_ns: dur, bytes, id, tid: 0 }
+        Event { cat, name, start_ns: start, dur_ns: dur, bytes, flops: 0, id, tid: 0 }
+    }
+
+    #[test]
+    fn kernel_stats_fold_compute_spans_by_name() {
+        let mut e1 = ev(Category::Compute, "tile_matmul", 0, 10, 100, 0);
+        e1.flops = 2_000;
+        let mut e2 = ev(Category::Compute, "tile_matmul", 20, 30, 300, 1);
+        e2.flops = 6_000;
+        let e3 = ev(Category::Compute, STEP_SPAN, 0, 100, 0, 0); // envelope: skipped
+        let e4 = ev(Category::NcTransfer, "nc.read", 0, 50, 999, 0); // not compute
+        let mut e5 = ev(Category::Compute, "adam_chunk", 5, 5, 40, 0);
+        e5.flops = 150;
+        let stats = compute_kernel_stats(&[e1, e2, e3, e4, e5]);
+        assert_eq!(stats.len(), 2);
+        // Sorted by descending total time: tile_matmul (40ns) first.
+        assert_eq!(stats[0].name, "tile_matmul");
+        assert_eq!((stats[0].spans, stats[0].total_ns, stats[0].bytes, stats[0].flops), (2, 40, 400, 8_000));
+        // bytes/ns == GB/s numerically: 400 bytes / 40 ns = 10 GB/s.
+        assert!((stats[0].gbps() - 10.0).abs() < 1e-12);
+        assert!((stats[0].gflops() - 200.0).abs() < 1e-12);
+        assert_eq!(stats[1].name, "adam_chunk");
+        assert_eq!(stats[1].total_ns, 5);
     }
 
     #[test]

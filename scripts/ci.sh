@@ -11,7 +11,8 @@ cargo clippy --workspace -- -D warnings
 # zi-sync lock/condvar/channel/atomic routes through the zi-check
 # scheduler, then run the detector's seeded-bug fixtures and the five
 # protocol harnesses (barrier rank-death, engine flush barrier,
-# checkpoint crash recovery, pool checkout/return, trace ring drain).
+# checkpoint crash recovery, pool checkout/return, trace ring drain,
+# knob hand-off, kernel worker-pool tiling).
 # Each harness must
 # cover >= 1000 distinct schedules or exhaust its space; failures print
 # a ZI_CHECK_SEED/ZI_CHECK_TRACE replay line. Bounded by a hard
@@ -63,3 +64,15 @@ timeout --kill-after=10s 300s \
     "$TRACE_DIR/BENCH_adaptive.json" --quick \
     || { echo "adaptive stage failed: controller regressed from its start (exit $?)"; exit 1; }
 test -s "$TRACE_DIR/BENCH_adaptive.json" || { echo "adaptive stage wrote no report"; exit 1; }
+# Kernels stage: SIMD layer smoke. kernels_report --quick times every
+# dispatched kernel under forced-scalar and auto and exits nonzero if
+# a detected SIMD backend lost to scalar (dispatch regression); then
+# the tensor/optim unit suites re-run with the scalar fallback forced,
+# so the portable path keeps full coverage even on AVX2 machines.
+timeout --kill-after=10s 300s \
+    cargo run -q --release -p zi-bench --bin kernels_report -- \
+    "$TRACE_DIR/BENCH_kernels.json" --quick \
+    || { echo "kernels stage failed: SIMD slower than scalar (exit $?)"; exit 1; }
+test -s "$TRACE_DIR/BENCH_kernels.json" || { echo "kernels stage wrote no report"; exit 1; }
+ZI_SIMD=scalar cargo test -q -p zi-tensor -p zi-optim \
+    || { echo "scalar-forced unit suites failed"; exit 1; }
