@@ -30,8 +30,10 @@ pub enum ResetReason {
     Degraded,
     /// The trainer restarted the run from a durable checkpoint.
     CheckpointRestart,
-    /// The data-parallel world shrank onto fewer ranks.
-    ElasticShrink,
+    /// The data-parallel world was resized — shrunk onto fewer ranks
+    /// after a failure, or grown onto more after a join. Either way the
+    /// per-rank shard sizes and collective pressure changed.
+    ElasticResize,
     /// The measured cost drifted away from the baseline while holding
     /// still: the environment changed without an explicit signal.
     CostDrift,

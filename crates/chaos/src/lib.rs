@@ -1,0 +1,613 @@
+#![warn(missing_docs)]
+
+//! Deterministic chaos orchestrator: composed failure schedules.
+//!
+//! The workspace has three independent fault planes — storage
+//! ([`zi_nvme::FaultPlan`]), collectives ([`zi_comm::CommFaultPlan`]) and
+//! membership ([`zi_comm::Membership`]). Each is deterministic on its
+//! own, but production failures *compose*: a device dies while a rank is
+//! being killed, a replacement joins while the survivors are still
+//! resharding. A [`ChaosPlan`] drives all three planes from one
+//! step-indexed timeline of typed [`ChaosEvent`]s, either scripted
+//! explicitly or generated from a single seed (`ZI_CHAOS_SEED`, printed
+//! on failure for replay, mirroring `ZI_CHECK_SEED` in `zi-check`).
+//!
+//! The plan records every injection it arms in an event log; after the
+//! run, [`check_outcome`] cross-checks that log against the trainer's
+//! observable outcome (recoveries, elastic transitions, final world) so
+//! a chaos run cannot silently under- or over-recover.
+//!
+//! Determinism contract: events are *armed* at the top of the step they
+//! are scheduled for (the trainer calls [`ChaosPlan::begin_step`] on rank
+//! 0 before any collective of that step), so the fired log — `(step,
+//! event)` identity and order — is a pure function of the schedule, which
+//! in turn is a pure function of the seed. What each armed fault then
+//! *hits* (which op, which rank discovers it first) may vary with thread
+//! interleaving; the outcome checks are therefore inequalities over
+//! counts, not exact traces.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use zi_comm::{CommFaultPlan, Membership};
+use zi_nvme::FaultPlan;
+use zi_sync::Mutex;
+
+/// Environment variable naming the seed for generated chaos schedules.
+pub const ZI_CHAOS_SEED: &str = "ZI_CHAOS_SEED";
+
+/// One typed failure (or membership) event on the chaos timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// The storage device dies permanently (drives `FaultPlan::kill`).
+    DeviceFail,
+    /// A data-parallel rank dies at its next collective entry
+    /// (drives `CommFaultPlan::kill_rank`).
+    RankKill {
+        /// Rank to kill. Interpreted against the world size at fire
+        /// time; out-of-range kills are dropped and logged as no-ops by
+        /// the outcome check.
+        rank: usize,
+    },
+    /// `ranks` replacement ranks ask to join at the next generation
+    /// barrier (drives `Membership::request_joins`).
+    RankJoin {
+        /// Number of joining ranks.
+        ranks: usize,
+    },
+    /// A rank's next `ops` collective entries are each delayed.
+    CommDelay {
+        /// Rank whose entries are delayed.
+        rank: usize,
+        /// Number of entries to delay.
+        ops: u32,
+        /// Delay per entry, in microseconds.
+        micros: u64,
+    },
+    /// The next `reads` storage reads return silently corrupted bytes
+    /// (drives `FaultPlan::bitflip_next_reads`; CRC verification turns
+    /// them into typed `Corruption` errors downstream).
+    Corruption {
+        /// Number of reads to corrupt.
+        reads: u32,
+    },
+}
+
+/// An event pinned to the step at which it arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledEvent {
+    /// Step index (0-based) at whose top the event arms.
+    pub step: u64,
+    /// The event.
+    pub event: ChaosEvent,
+}
+
+/// A scheduled event that has been armed, with the step it actually
+/// armed at (later than scheduled if the trainer was mid-recovery and
+/// re-entered the step loop past the scheduled index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FiredEvent {
+    /// The step the event was scheduled for.
+    pub step: u64,
+    /// The step at whose top it actually armed.
+    pub fired_step: u64,
+    /// The event.
+    pub event: ChaosEvent,
+}
+
+/// Probabilities and caps for seed-generated schedules.
+///
+/// Each probability is evaluated once per step with an independent
+/// xorshift64* draw, so the schedule is a pure function of
+/// `(seed, config)`. Kills and joins are capped so a bounded CI run
+/// cannot schedule more membership churn than its recovery budget and
+/// checkpoint-store capacity allow.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Steps the timeline spans (events land on `0..steps`).
+    pub steps: u64,
+    /// World size events are drawn against (kill targets, delay targets).
+    pub world: usize,
+    /// Per-step probability of a `DeviceFail` (at most one per schedule —
+    /// the device stays dead).
+    pub device_fail: f64,
+    /// Per-step probability of a `RankKill` on a uniformly drawn rank.
+    pub rank_kill: f64,
+    /// Per-step probability of a single-rank `RankJoin`.
+    pub rank_join: f64,
+    /// Per-step probability of a `CommDelay` burst on a uniform rank.
+    pub comm_delay: f64,
+    /// Per-step probability of a read-`Corruption` burst.
+    pub corruption: f64,
+    /// Maximum `RankKill` events in the schedule.
+    pub max_kills: usize,
+    /// Maximum `RankJoin` events in the schedule.
+    pub max_joins: usize,
+}
+
+impl ChaosConfig {
+    /// A quiet timeline of `steps` steps over `world` ranks: all
+    /// probabilities zero, caps one kill / one join.
+    pub fn quiet(steps: u64, world: usize) -> Self {
+        ChaosConfig {
+            steps,
+            world,
+            device_fail: 0.0,
+            rank_kill: 0.0,
+            rank_join: 0.0,
+            comm_delay: 0.0,
+            corruption: 0.0,
+            max_kills: 1,
+            max_joins: 1,
+        }
+    }
+}
+
+struct PlanState {
+    /// Schedule in firing order (stable-sorted by step).
+    schedule: Vec<ScheduledEvent>,
+    /// `fired[i]` — whether `schedule[i]` has armed.
+    fired: Vec<bool>,
+    /// Armed events, in arming order.
+    log: Vec<FiredEvent>,
+}
+
+/// A deterministic, seed-replayable composed failure schedule.
+///
+/// Cloneable handle: the trainer holds one clone (calling
+/// [`ChaosPlan::begin_step`]), the test another (reading the log), and
+/// the embedded fault plans are themselves shared handles wired into the
+/// backend and comm group via [`ChaosPlan::storage_plan`] /
+/// [`ChaosPlan::comm_plan`].
+#[derive(Clone)]
+pub struct ChaosPlan {
+    state: Arc<Mutex<PlanState>>,
+    storage: FaultPlan,
+    comm: CommFaultPlan,
+    seed: Option<u64>,
+}
+
+impl Default for ChaosPlan {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChaosPlan {
+    /// An empty plan; add events with [`ChaosPlan::schedule`].
+    pub fn new() -> Self {
+        ChaosPlan {
+            state: Arc::new(Mutex::new(PlanState {
+                schedule: Vec::new(),
+                fired: Vec::new(),
+                log: Vec::new(),
+            })),
+            storage: FaultPlan::new(),
+            comm: CommFaultPlan::new(),
+            seed: None,
+        }
+    }
+
+    /// Generate a schedule from `seed`: one pass over the timeline with
+    /// an independent xorshift64* stream, identical for identical
+    /// `(seed, config)` — re-running with the printed `ZI_CHAOS_SEED`
+    /// reproduces the exact event sequence.
+    pub fn seeded(seed: u64, config: &ChaosConfig) -> Self {
+        let plan = Self::new();
+        let mut rng = Rng::new(seed);
+        let mut kills = 0usize;
+        let mut joins = 0usize;
+        let mut device_dead = false;
+        for step in 0..config.steps {
+            if !device_dead && rng.roll(config.device_fail) {
+                device_dead = true;
+                plan.schedule(step, ChaosEvent::DeviceFail);
+            }
+            if kills < config.max_kills && config.world > 0 && rng.roll(config.rank_kill) {
+                kills += 1;
+                let rank = (rng.next_u64() % config.world as u64) as usize;
+                plan.schedule(step, ChaosEvent::RankKill { rank });
+            }
+            if joins < config.max_joins && rng.roll(config.rank_join) {
+                joins += 1;
+                plan.schedule(step, ChaosEvent::RankJoin { ranks: 1 });
+            }
+            if config.world > 0 && rng.roll(config.comm_delay) {
+                let rank = (rng.next_u64() % config.world as u64) as usize;
+                let ops = 1 + (rng.next_u64() % 3) as u32;
+                let micros = 50 + rng.next_u64() % 200;
+                plan.schedule(step, ChaosEvent::CommDelay { rank, ops, micros });
+            }
+            if rng.roll(config.corruption) {
+                let reads = 1 + (rng.next_u64() % 2) as u32;
+                plan.schedule(step, ChaosEvent::Corruption { reads });
+            }
+        }
+        ChaosPlan { seed: Some(seed), ..plan }
+    }
+
+    /// The seed this schedule was generated from, if any — print it in
+    /// every assertion message so a failure is replayable.
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
+    }
+
+    /// Read `ZI_CHAOS_SEED` from the environment (decimal or `0x` hex),
+    /// falling back to `default`.
+    pub fn seed_from_env(default: u64) -> u64 {
+        match std::env::var(ZI_CHAOS_SEED) {
+            Ok(s) => {
+                let s = s.trim();
+                let parsed = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                    u64::from_str_radix(&hex.replace('_', ""), 16).ok()
+                } else {
+                    s.replace('_', "").parse().ok()
+                };
+                parsed.unwrap_or(default)
+            }
+            Err(_) => default,
+        }
+    }
+
+    /// Pin `event` to the top of `step`. Events keep scheduling order
+    /// within a step (stable sort).
+    pub fn schedule(&self, step: u64, event: ChaosEvent) {
+        let mut st = self.state.lock();
+        st.schedule.push(ScheduledEvent { step, event });
+        st.schedule.sort_by_key(|e| e.step);
+        st.fired = vec![false; st.schedule.len()];
+        assert!(
+            st.log.is_empty(),
+            "chaos schedule must be complete before the first begin_step"
+        );
+    }
+
+    /// The storage fault plan this timeline drives — wire it into the
+    /// backend under test (`FaultyBackend::new(inner, plan.storage_plan())`).
+    pub fn storage_plan(&self) -> FaultPlan {
+        self.storage.clone()
+    }
+
+    /// The comm fault plan this timeline drives — wire it into the
+    /// trainer/group config.
+    pub fn comm_plan(&self) -> CommFaultPlan {
+        self.comm.clone()
+    }
+
+    /// Arm every not-yet-fired event scheduled at or before `step`, in
+    /// schedule order. The trainer calls this on rank 0 at the top of
+    /// each step, before any collective; `<=` (not `==`) means events
+    /// whose step was skipped by a recovery re-entry still fire.
+    pub fn begin_step(&self, step: u64, membership: &Membership) {
+        // Collect under the lock, inject after: the membership observer
+        // latches the comm group's barrier lock, which must never nest
+        // inside the plan lock.
+        let to_fire: Vec<ScheduledEvent> = {
+            let mut st = self.state.lock();
+            let mut out = Vec::new();
+            for i in 0..st.schedule.len() {
+                if !st.fired[i] && st.schedule[i].step <= step {
+                    st.fired[i] = true;
+                    out.push(st.schedule[i]);
+                    let ev = st.schedule[i];
+                    st.log.push(FiredEvent { step: ev.step, fired_step: step, event: ev.event });
+                }
+            }
+            out
+        };
+        for ev in to_fire {
+            match ev.event {
+                ChaosEvent::DeviceFail => self.storage.kill(),
+                ChaosEvent::RankKill { rank } => self.comm.kill_rank(rank),
+                ChaosEvent::RankJoin { ranks } => membership.request_joins(ranks),
+                ChaosEvent::CommDelay { rank, ops, micros } => {
+                    self.comm.delay_next_ops(rank, ops, Duration::from_micros(micros));
+                }
+                ChaosEvent::Corruption { reads } => self.storage.bitflip_next_reads(reads),
+            }
+        }
+    }
+
+    /// The full schedule, in firing order.
+    pub fn events(&self) -> Vec<ScheduledEvent> {
+        self.state.lock().schedule.clone()
+    }
+
+    /// Armed events so far, in arming order.
+    pub fn log(&self) -> Vec<FiredEvent> {
+        self.state.lock().log.clone()
+    }
+}
+
+/// The observable outcome of a chaos run, distilled from the trainer's
+/// `TrainOutcome` (kept as plain data so `zi-chaos` does not depend on
+/// `zi-core`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSummary {
+    /// World size the session started with.
+    pub initial_world: usize,
+    /// World size it finished with.
+    pub final_world: usize,
+    /// Recoveries the trainer consumed (restarts + shrinks; grows are
+    /// free).
+    pub recoveries: usize,
+    /// Elastic transitions, in order: `(from_world, to_world)`.
+    pub elastic: Vec<(usize, usize)>,
+    /// Whether the run produced its full loss trajectory.
+    pub completed: bool,
+}
+
+/// Cross-check a chaos event log against the run's observable outcome.
+///
+/// The checks are deliberately inequalities: the log records what was
+/// *armed*, and thread interleaving decides what each armed fault hits
+/// (a kill may be preempted by a resize that retires the group first, a
+/// device death may surface before or after a checkpoint). What must
+/// hold regardless:
+///
+/// * elastic transitions chain (`to` of one is `from` of the next,
+///   starting at the initial world and ending at the final world);
+/// * the world never drops below `initial - kills` nor rises above
+///   `initial + joined ranks`;
+/// * a completed run recovered at most once per armed kill + device
+///   fail (delays and corruptions are absorbed by retry/CRC machinery,
+///   never by a restart... corruption may cost a restart too, so it
+///   counts toward the budget);
+/// * with no armed events at all, the run is failure-free: no
+///   recoveries, no elastic transitions, same world out as in.
+pub fn check_outcome(log: &[FiredEvent], summary: &SessionSummary) -> Result<(), String> {
+    let kills = log.iter().filter(|e| matches!(e.event, ChaosEvent::RankKill { .. })).count();
+    let device_fails = log.iter().filter(|e| e.event == ChaosEvent::DeviceFail).count();
+    let corruption_bursts =
+        log.iter().filter(|e| matches!(e.event, ChaosEvent::Corruption { .. })).count();
+    let joined: usize = log
+        .iter()
+        .map(|e| match e.event {
+            ChaosEvent::RankJoin { ranks } => ranks,
+            _ => 0,
+        })
+        .sum();
+
+    // Elastic transitions must chain from the initial to the final world.
+    let mut world = summary.initial_world;
+    for (i, &(from, to)) in summary.elastic.iter().enumerate() {
+        if from != world {
+            return Err(format!(
+                "elastic transition {i} starts at world {from}, expected {world} \
+                 (transitions: {:?})",
+                summary.elastic
+            ));
+        }
+        if world < summary.initial_world.saturating_sub(kills) {
+            return Err(format!(
+                "world shrank to {world} with only {kills} kill(s) armed"
+            ));
+        }
+        world = to;
+    }
+    if world != summary.final_world {
+        return Err(format!(
+            "elastic transitions end at world {world} but the run finished at {}",
+            summary.final_world
+        ));
+    }
+
+    if summary.final_world < summary.initial_world.saturating_sub(kills) {
+        return Err(format!(
+            "final world {} below initial {} minus {kills} armed kill(s)",
+            summary.final_world, summary.initial_world
+        ));
+    }
+    if summary.final_world > summary.initial_world + joined {
+        return Err(format!(
+            "final world {} above initial {} plus {joined} armed join(s)",
+            summary.final_world, summary.initial_world
+        ));
+    }
+
+    if summary.completed && summary.recoveries > kills + device_fails + corruption_bursts {
+        return Err(format!(
+            "{} recoveries for only {kills} kill(s) + {device_fails} device fail(s) \
+             + {corruption_bursts} corruption burst(s) armed",
+            summary.recoveries
+        ));
+    }
+
+    let disruptive = kills + device_fails + corruption_bursts + joined;
+    if disruptive == 0 {
+        if summary.recoveries != 0 || !summary.elastic.is_empty() {
+            return Err(format!(
+                "no disruptive events armed, yet {} recoveries and {:?} elastic transitions",
+                summary.recoveries, summary.elastic
+            ));
+        }
+        if summary.final_world != summary.initial_world {
+            return Err("no membership events armed, yet the world changed size".into());
+        }
+    }
+    Ok(())
+}
+
+/// xorshift64* with the same constants as the fault-plan streams.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        // Fold with the golden-ratio increment so seed 0 still draws.
+        Rng(seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn roll(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        let draw = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        draw < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fired_identities(plan: &ChaosPlan) -> Vec<(u64, ChaosEvent)> {
+        plan.log().iter().map(|f| (f.step, f.event)).collect()
+    }
+
+    #[test]
+    fn scripted_events_fire_once_in_step_order() {
+        let m = Membership::new(4);
+        let plan = ChaosPlan::new();
+        plan.schedule(3, ChaosEvent::RankKill { rank: 2 });
+        plan.schedule(1, ChaosEvent::Corruption { reads: 1 });
+        plan.schedule(3, ChaosEvent::RankJoin { ranks: 1 });
+
+        plan.begin_step(0, &m);
+        assert!(plan.log().is_empty());
+
+        plan.begin_step(1, &m);
+        assert_eq!(fired_identities(&plan), vec![(1, ChaosEvent::Corruption { reads: 1 })]);
+
+        // Step 2 skipped (recovery re-entry): step-3 events still arm at 4.
+        plan.begin_step(4, &m);
+        assert_eq!(
+            fired_identities(&plan),
+            vec![
+                (1, ChaosEvent::Corruption { reads: 1 }),
+                (3, ChaosEvent::RankKill { rank: 2 }),
+                (3, ChaosEvent::RankJoin { ranks: 1 }),
+            ]
+        );
+        assert_eq!(plan.log()[2].fired_step, 4);
+        assert_eq!(m.pending_joins(), 1);
+
+        // Re-arming is one-shot.
+        plan.begin_step(10, &m);
+        assert_eq!(plan.log().len(), 3);
+    }
+
+    #[test]
+    fn fired_events_reach_the_fault_planes() {
+        let m = Membership::new(2);
+        let plan = ChaosPlan::new();
+        plan.schedule(0, ChaosEvent::DeviceFail);
+        plan.schedule(0, ChaosEvent::CommDelay { rank: 1, ops: 2, micros: 10 });
+        plan.begin_step(0, &m);
+        assert!(plan.storage_plan().is_dead());
+        // The delay is armed on the comm plan: judging rank 1 returns a
+        // delay verdict twice.
+        let comm = plan.comm_plan();
+        let (_, d1) = comm.judge(1);
+        let (_, d2) = comm.judge(1);
+        let (_, d3) = comm.judge(1);
+        assert!(d1.is_some() && d2.is_some() && d3.is_none());
+        assert_eq!(comm.injected().delays, 2);
+    }
+
+    #[test]
+    fn seeded_schedules_replay_identically() {
+        let config = ChaosConfig {
+            steps: 64,
+            world: 4,
+            device_fail: 0.1,
+            rank_kill: 0.2,
+            rank_join: 0.2,
+            comm_delay: 0.3,
+            corruption: 0.2,
+            max_kills: 2,
+            max_joins: 2,
+        };
+        let a = ChaosPlan::seeded(0x5eed_cafe, &config);
+        let b = ChaosPlan::seeded(0x5eed_cafe, &config);
+        assert_eq!(a.events(), b.events());
+        assert!(!a.events().is_empty(), "these rates must generate events over 64 steps");
+        assert_eq!(a.seed(), Some(0x5eed_cafe));
+
+        // Firing the whole timeline reproduces the identical sequence.
+        let (ma, mb) = (Membership::new(4), Membership::new(4));
+        for step in 0..config.steps {
+            a.begin_step(step, &ma);
+            b.begin_step(step, &mb);
+        }
+        assert_eq!(fired_identities(&a), fired_identities(&b));
+
+        // A different seed diverges.
+        let c = ChaosPlan::seeded(0x0bad_5eed, &config);
+        assert_ne!(a.events(), c.events());
+
+        // Caps hold.
+        let kills =
+            a.events().iter().filter(|e| matches!(e.event, ChaosEvent::RankKill { .. })).count();
+        let joins =
+            a.events().iter().filter(|e| matches!(e.event, ChaosEvent::RankJoin { .. })).count();
+        let devices = a.events().iter().filter(|e| e.event == ChaosEvent::DeviceFail).count();
+        assert!(kills <= 2 && joins <= 2 && devices <= 1);
+    }
+
+    #[test]
+    fn outcome_checks_catch_inconsistencies() {
+        let log = [
+            FiredEvent { step: 2, fired_step: 2, event: ChaosEvent::RankKill { rank: 1 } },
+            FiredEvent { step: 4, fired_step: 4, event: ChaosEvent::RankJoin { ranks: 1 } },
+        ];
+        let good = SessionSummary {
+            initial_world: 4,
+            final_world: 4,
+            recoveries: 1,
+            elastic: vec![(4, 3), (3, 4)],
+            completed: true,
+        };
+        assert!(check_outcome(&log, &good).is_ok());
+
+        // Broken elastic chain.
+        let mut bad = good.clone();
+        bad.elastic = vec![(4, 3), (2, 4)];
+        assert!(check_outcome(&log, &bad).unwrap_err().contains("transition"));
+
+        // Chain does not reach the final world.
+        let mut bad = good.clone();
+        bad.elastic = vec![(4, 3)];
+        assert!(check_outcome(&log, &bad).is_err());
+
+        // More recoveries than armed causes.
+        let mut bad = good.clone();
+        bad.recoveries = 3;
+        assert!(check_outcome(&log, &bad).is_err());
+
+        // Grew beyond the armed joins.
+        let mut bad = good.clone();
+        bad.final_world = 6;
+        bad.elastic = vec![(4, 3), (3, 6)];
+        assert!(check_outcome(&log, &bad).is_err());
+
+        // Quiet log: any churn is a finding.
+        let quiet_summary = SessionSummary {
+            initial_world: 4,
+            final_world: 4,
+            recoveries: 0,
+            elastic: vec![],
+            completed: true,
+        };
+        assert!(check_outcome(&[], &quiet_summary).is_ok());
+        let mut churned = quiet_summary;
+        churned.recoveries = 1;
+        assert!(check_outcome(&[], &churned).is_err());
+    }
+
+    #[test]
+    fn seed_env_parsing() {
+        // No env in tests — just exercise the fallback and both radixes
+        // via the inner parse by setting/removing is process-global and
+        // racy under parallel tests, so only the fallback is checked.
+        assert_eq!(ChaosPlan::seed_from_env(42), 42);
+    }
+}

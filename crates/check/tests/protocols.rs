@@ -1,5 +1,6 @@
 //! Model-check harnesses for the workspace's real concurrency
-//! protocols: the generation barrier under scripted rank death
+//! protocols: the generation barrier under scripted rank death and the
+//! membership join handshake racing that death
 //! (`zi-comm`), the write-behind engine's `flush` durability barrier and
 //! the checkpoint store's `save_async`/crash/`open` recovery
 //! (`zi-nvme`), and the buffer pools (`zi-memory`).
@@ -15,7 +16,7 @@ use std::time::Duration;
 
 use zi_adapt::{KnobCell, Knobs};
 use zi_check::{Checker, Report};
-use zi_comm::{CommConfig, CommFaultPlan, CommGroup};
+use zi_comm::{CommConfig, CommFaultPlan, CommGroup, Membership};
 use zi_memory::{PinnedBufferPool, ScratchPool};
 use zi_nvme::{CheckpointStore, FaultPlan, FaultyBackend, MemBackend, NvmeEngine, StorageBackend};
 use zi_sync::thread;
@@ -410,6 +411,100 @@ fn kernel_pool_tiling_body() {
 #[test]
 fn kernel_pool_tiling_is_race_free() {
     run("kernel-pool-tiling", kernel_pool_tiling_body);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol 8: membership join handshake racing a scripted rank death.
+//
+// A joiner requests admission while a 2-rank group runs collectives and
+// a comm fault plan scripts rank 1's death entering its 3rd barrier.
+// Whichever latches first wins, and the precedence rule keeps the
+// outcome coherent:
+//
+//   * resize first — rank 1's fatal admit is preempted by the retirement
+//     check, the kill never fires, and every rank gets a voluntary
+//     `MembershipChange`; the group latches no failure.
+//   * failure first — `mark_resize` is a no-op on a failed group, so
+//     the resize never latches and the victim gets `RankFailed{1}`; the
+//     join request itself survives in the ledger for the next
+//     generation.
+//
+// The two planes are *not* one atomic step: a survivor can be retired
+// by the resize in the same instant the victim's scripted kill fires,
+// so a survivor's classification may race (`MembershipChange` vs
+// `RankFailed`). What must hold in every interleaving: no rank ever
+// hangs; every halt is one of the two typed errors; the victim of a
+// fired kill always reports its own death; the latched group state
+// agrees with the strongest class any rank observed (failure outranks
+// resize); and folding the next generation accounts for the join
+// exactly once (`pending_joins` drains to zero, world = base + 1).
+
+fn join_handshake_vs_rank_death_body() {
+    let plan = CommFaultPlan::new();
+    plan.kill_rank_after_ops(1, 2); // dies entering its 3rd collective
+    let membership = Membership::new(2);
+    let group = CommGroup::with_membership(
+        2,
+        CommConfig { deadline: Duration::from_secs(30), faults: plan },
+        &membership,
+    );
+    let joiner = {
+        let membership = membership.clone();
+        thread::spawn(move || membership.request_join())
+    };
+    let handles: Vec<_> = group
+        .communicators()
+        .into_iter()
+        .map(|comm| {
+            thread::spawn(move || {
+                for i in 0..6u32 {
+                    if let Err(e) = comm.barrier() {
+                        return (i, e);
+                    }
+                }
+                panic!("rank {} outlived both the kill and the retirement", comm.rank());
+            })
+        })
+        .collect();
+    let results: Vec<(u32, Error)> =
+        handles.into_iter().map(|h| h.join().expect("rank thread")).collect();
+    joiner.join().expect("joiner thread");
+
+    let mut saw_failure = false;
+    for (rank, (i, e)) in results.iter().enumerate() {
+        match e {
+            Error::MembershipChange { joining: 1, .. } => {}
+            Error::RankFailed { rank: 1, .. } => saw_failure = true,
+            other => panic!("rank {rank} got untyped halt {other}"),
+        }
+        assert!(*i <= 2, "rank {rank} survived past the kill threshold ({i})");
+    }
+    if saw_failure {
+        // Only the victim's scripted admit can latch the failure, so it
+        // must have reported its own death even when the survivor's
+        // classification raced the resize.
+        assert!(
+            matches!(results[1].1, Error::RankFailed { rank: 1, .. }),
+            "failure latched but the victim reported {:?}",
+            results[1].1
+        );
+        assert_eq!(group.failed_rank(), Some(1), "observed failure never latched");
+        assert_eq!(group.pending_resize(), None, "failure must outrank the resize latch");
+    } else {
+        assert_eq!(group.failed_rank(), None, "voluntary retirement latched a failure");
+        assert_eq!(group.pending_resize(), Some(1), "retirement without a latched resize");
+    }
+    // The generation fold: survivors (1 after a death, both otherwise)
+    // plus the one join, with the ledger drained.
+    assert_eq!(membership.pending_joins(), 1, "join request lost before the fold");
+    let base = if saw_failure { 1 } else { 2 };
+    assert_eq!(membership.next_generation(base), (1, base + 1));
+    assert_eq!(membership.pending_joins(), 0, "fold must drain the join ledger");
+}
+
+#[test]
+fn join_handshake_survives_racing_rank_death() {
+    run("join-handshake-vs-rank-death", join_handshake_vs_rank_death_body);
 }
 
 fn kernel_pool_panic_release_body() {

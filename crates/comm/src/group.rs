@@ -22,6 +22,13 @@
 //! Once failed, a group is permanently broken — recovery means building a
 //! new group (see the elastic trainer in `zi-core`), exactly as a real
 //! NCCL communicator is torn down and re-initialized after a fault.
+//!
+//! Groups also retire *voluntarily*: when a [`Membership`](crate::Membership)
+//! queues a joining rank, the group latches a resize on the same barrier
+//! and every collective returns [`zi_types::Error::MembershipChange`] —
+//! same coordinated-unwind mechanics as a failure, but typed so recovery
+//! grows the world instead of shrinking it. A failure latched first wins:
+//! a broken group never reports a benign resize.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -32,6 +39,7 @@ use zi_trace::{Category, Counter, Tracer};
 use zi_types::{Error, Rank, Result, WorldSize};
 
 use crate::fault::{CommFaultPlan, CommVerdict};
+use crate::membership::Membership;
 use crate::partition::partition_range;
 use crate::traffic::TrafficStats;
 
@@ -72,6 +80,11 @@ struct BarrierState {
     /// First rank to die/abort/time out. Latched forever: once set, the
     /// group is broken and every sync returns `RankFailed`.
     failed: Option<Rank>,
+    /// Number of ranks queued to join at the next generation. Latched
+    /// forever like `failed` (the group is generation-scoped): once set,
+    /// every sync returns `MembershipChange` so the whole group retires
+    /// and rebuilds at the grown world. `failed` takes precedence.
+    resize: Option<usize>,
 }
 
 struct Shared {
@@ -101,6 +114,43 @@ impl Shared {
     fn failed(&self) -> Option<Rank> {
         self.sync.state.lock().failed
     }
+
+    /// Latch a membership resize (first one wins) and wake all waiters.
+    /// A no-op on a group that already failed: failure precedence means
+    /// shrink recovery runs first and the join folds into the generation
+    /// after it.
+    fn mark_resize(&self, joining: usize) {
+        let mut st = self.sync.state.lock();
+        if st.failed.is_some() {
+            return;
+        }
+        if st.resize.is_none() {
+            st.resize = Some(joining);
+        }
+        self.sync.cv.notify_all();
+    }
+
+    /// Typed error if the group is broken or retiring, checked on every
+    /// collective entry. Locks once; failure outranks resize.
+    fn halted(&self, context: &str) -> Result<()> {
+        let st = self.sync.state.lock();
+        match halt_error(&st, context) {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// The error a halted group surfaces, if any: a latched failure first
+/// (the group is broken), else a latched resize (the group is retiring).
+fn halt_error(st: &BarrierState, context: &str) -> Option<Error> {
+    if let Some(r) = st.failed {
+        return Some(rank_failed(r, context));
+    }
+    if let Some(joining) = st.resize {
+        return Some(Error::MembershipChange { joining, context: context.into() });
+    }
+    None
 }
 
 fn rank_failed(rank: Rank, context: &str) -> Error {
@@ -137,6 +187,7 @@ impl CommGroup {
                         generation: 0,
                         arrived: 0,
                         failed: None,
+                        resize: None,
                     }),
                     cv: Condvar::new(),
                 },
@@ -148,6 +199,40 @@ impl CommGroup {
                 tracer,
             }),
         }
+    }
+
+    /// Create a group registered with a [`Membership`]: joins queued on
+    /// the membership latch a resize on this group's barrier, retiring it
+    /// with [`zi_types::Error::MembershipChange`] on every rank. If joins
+    /// are already pending when the group is built (a join raced the
+    /// teardown of the previous generation), the resize latches
+    /// immediately so the very first collective surfaces it.
+    pub fn with_membership(world: WorldSize, config: CommConfig, membership: &Membership) -> Self {
+        Self::with_membership_tracer(world, config, Tracer::new(), membership)
+    }
+
+    /// [`CommGroup::with_membership`] with an externally owned tracer.
+    pub fn with_membership_tracer(
+        world: WorldSize,
+        config: CommConfig,
+        tracer: Tracer,
+        membership: &Membership,
+    ) -> Self {
+        let group = Self::with_config_tracer(world, config, tracer);
+        let weak = Arc::downgrade(&group.shared);
+        membership.set_observer(Arc::new(move |joining: usize| {
+            // Stale observers (a retired generation's group) upgrade to
+            // nothing once dropped; a live retired group latching again
+            // is harmless — the latch is idempotent.
+            if let Some(shared) = weak.upgrade() {
+                shared.mark_resize(joining);
+            }
+        }));
+        let pending = membership.pending_joins();
+        if pending > 0 {
+            group.shared.mark_resize(pending);
+        }
+        group
     }
 
     /// Handle for one rank. Each rank's handle must be used by exactly one
@@ -175,6 +260,13 @@ impl CommGroup {
     /// The rank whose failure broke this group, if any.
     pub fn failed_rank(&self) -> Option<Rank> {
         self.shared.failed()
+    }
+
+    /// Number of joiners whose arrival retired this group, if a resize
+    /// latched (and no failure outranked it).
+    pub fn pending_resize(&self) -> Option<usize> {
+        let st = self.shared.sync.state.lock();
+        if st.failed.is_some() { None } else { st.resize }
     }
 
     /// Mark `rank` as failed on behalf of its thread (coordinated abort
@@ -212,13 +304,13 @@ impl Communicator {
         self.shared.mark_failed(self.rank);
     }
 
-    /// Consult the fault plan and the failed latch before entering a
-    /// collective. Returns the corruption salt if the plan wants this
-    /// rank's contribution corrupted.
+    /// Consult the halt latches (failure, then resize) and the fault plan
+    /// before entering a collective. Returns the corruption salt if the
+    /// plan wants this rank's contribution corrupted. Latch-before-plan
+    /// order means a resize that lands before a scripted fault silently
+    /// preempts it — the group is already retiring, so the fault is moot.
     fn admit(&self, context: &'static str) -> Result<Option<u64>> {
-        if let Some(r) = self.shared.failed() {
-            return Err(rank_failed(r, context));
-        }
+        self.shared.halted(context)?;
         let (verdict, delay) = self.shared.faults.judge(self.rank);
         if let Some(d) = delay {
             self.shared.tracer.instant(Category::Retry, "comm.delay", 0, self.rank as u64);
@@ -245,8 +337,8 @@ impl Communicator {
     fn sync(&self, context: &'static str) -> Result<()> {
         let sh = &self.shared;
         let mut st = sh.sync.state.lock();
-        if let Some(r) = st.failed {
-            return Err(rank_failed(r, context));
+        if let Some(e) = halt_error(&st, context) {
+            return Err(e);
         }
         st.arrived += 1;
         if st.arrived == sh.world {
@@ -259,13 +351,13 @@ impl Communicator {
         let deadline = Instant::now() + sh.deadline;
         loop {
             if st.generation != gen {
-                // The barrier completed; a failure latched *after* it does
-                // not retract data already exchanged — the next collective
-                // will surface it.
+                // The barrier completed; a failure or resize latched
+                // *after* it does not retract data already exchanged —
+                // the next collective will surface it.
                 return Ok(());
             }
-            if let Some(r) = st.failed {
-                return Err(rank_failed(r, context));
+            if let Some(e) = halt_error(&st, context) {
+                return Err(e);
             }
             let now = Instant::now();
             if now >= deadline {
@@ -709,6 +801,94 @@ mod tests {
         c1.abort();
         let err = h.join().unwrap().unwrap_err();
         assert!(matches!(err, Error::RankFailed { rank: 1, .. }), "got {err}");
+    }
+
+    #[test]
+    fn join_retires_group_without_failure() {
+        // A join queued mid-run surfaces as MembershipChange on every
+        // rank — promptly, typed, and without marking anything failed.
+        let membership = Membership::new(3);
+        let group = CommGroup::with_membership(
+            3,
+            CommConfig { deadline: Duration::from_secs(30), faults: CommFaultPlan::new() },
+            &membership,
+        );
+        let m2 = membership.clone();
+        let gate = Arc::new(AtomicU64::new(0));
+        let g2 = Arc::clone(&gate);
+        let start = Instant::now();
+        let results = run_group(&group, move |rank, comm| {
+            for i in 0..100 {
+                // One rank injects the join after the second round has
+                // definitely started everywhere.
+                if rank == 0 && i == 2 && g2.swap(1, Ordering::SeqCst) == 0 {
+                    m2.request_join();
+                }
+                let mut v = vec![1.0f32; 4];
+                if let Err(e) = comm.allreduce_sum(&mut v) {
+                    return e;
+                }
+            }
+            panic!("the join must retire the group well within 100 collectives");
+        });
+        assert!(start.elapsed() < Duration::from_secs(5), "resize must not wait out deadlines");
+        for e in &results {
+            assert!(e.is_membership_change(), "expected MembershipChange, got {e}");
+            assert!(!e.is_rank_failure(), "a grow must not classify as a rank death");
+        }
+        assert_eq!(group.failed_rank(), None);
+        assert_eq!(group.pending_resize(), Some(1));
+        // Recovery folds the join into the next generation.
+        assert_eq!(membership.next_generation(3), (1, 4));
+    }
+
+    #[test]
+    fn pending_join_latches_at_group_construction() {
+        // A join that raced the previous generation's teardown is caught
+        // when the next group is built: its first collective retires it.
+        let membership = Membership::new(2);
+        membership.request_join();
+        let group = CommGroup::with_membership(2, CommConfig::default(), &membership);
+        assert_eq!(group.pending_resize(), Some(1));
+        let err = group.communicator(0).barrier().unwrap_err();
+        assert!(matches!(err, Error::MembershipChange { joining: 1, .. }), "got {err}");
+    }
+
+    #[test]
+    fn join_wakes_blocked_peers() {
+        // Rank 0 blocks in a barrier; a join arrives from outside. Rank 0
+        // must wake with MembershipChange well before its deadline.
+        let membership = Membership::new(2);
+        let group = CommGroup::with_membership(
+            2,
+            CommConfig { deadline: Duration::from_secs(30), faults: CommFaultPlan::new() },
+            &membership,
+        );
+        let c0 = group.communicator(0);
+        let h = thread::spawn(move || c0.barrier());
+        thread::sleep(Duration::from_millis(20));
+        let start = Instant::now();
+        membership.request_join();
+        let err = h.join().unwrap().unwrap_err();
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert!(err.is_membership_change(), "got {err}");
+    }
+
+    #[test]
+    fn failure_outranks_resize() {
+        // A group broken by a rank death stays broken: a join queued
+        // afterwards does not relabel the error, and the queue survives
+        // for the generation after the shrink.
+        let membership = Membership::new(2);
+        let group = CommGroup::with_membership(2, CommConfig::default(), &membership);
+        group.abort_rank(1);
+        membership.request_join();
+        let err = group.communicator(0).barrier().unwrap_err();
+        assert!(matches!(err, Error::RankFailed { rank: 1, .. }), "got {err}");
+        assert_eq!(group.pending_resize(), None);
+        assert_eq!(membership.pending_joins(), 1, "the join stays queued across the shrink");
+        // Shrink to 1 survivor, then the join folds in: world is 2 again.
+        assert_eq!(membership.next_generation(1), (1, 2));
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Membership/generation protocol for elastic world-*grow*.
+//!
+//! A [`Membership`] is the session-scoped registry that outlives any one
+//! [`CommGroup`](crate::CommGroup): groups are generation-scoped and are
+//! torn down on every failure or resize, while the membership carries the
+//! join queue and the generation counter across them.
+//!
+//! The protocol is deliberately small:
+//!
+//! 1. A joining rank calls [`Membership::request_join`]. The membership
+//!    notifies the *current* group (registered as an observer when the
+//!    group was built), which latches a resize on its barrier: every
+//!    in-flight and subsequent collective on every rank returns
+//!    [`zi_types::Error::MembershipChange`] instead of exchanging data.
+//!    Nothing failed — the group retires voluntarily.
+//! 2. Survivors unwind to the recovery layer, which calls
+//!    [`Membership::next_generation`] with the base world it is resuming
+//!    from. The pending joins fold into the new world size and the
+//!    generation number advances; the joiners are now full members.
+//! 3. The recovery layer re-partitions durable optimizer state onto the
+//!    new world (`reshard_checkpoint_blobs` in `zi-core`) and builds a
+//!    fresh group for the new generation, re-registering it here.
+//!
+//! Joins that race the teardown are never lost: a join arriving after the
+//! old group retired (or between generations) stays queued, and a group
+//! built while joins are pending latches its resize at construction, so
+//! the very first collective of the stale-sized group surfaces the change.
+//! Failure takes precedence over growth — a group that is already broken
+//! stays broken (shrink recovery runs first; the queued join folds into
+//! the generation after it).
+
+use std::sync::Arc;
+
+use zi_sync::Mutex;
+
+/// Callback a [`CommGroup`](crate::CommGroup) registers to hear about
+/// joins; invoked with the total number of pending joiners.
+type Observer = Arc<dyn Fn(usize) + Send + Sync>;
+
+struct MemberState {
+    /// Generation counter; bumped on every [`Membership::next_generation`].
+    generation: u64,
+    /// World size of the current generation.
+    world: usize,
+    /// Ranks waiting to join at the next generation barrier.
+    pending_joins: usize,
+    /// The current generation's group, listening for joins.
+    observer: Option<Observer>,
+}
+
+/// Session-scoped membership registry (cheaply cloneable handle).
+///
+/// See the [module docs](self) for the protocol.
+#[derive(Clone)]
+pub struct Membership {
+    state: Arc<Mutex<MemberState>>,
+}
+
+impl Membership {
+    /// A membership whose generation 0 spans `world` ranks.
+    pub fn new(world: usize) -> Self {
+        assert!(world > 0, "membership world must be positive");
+        Membership {
+            state: Arc::new(Mutex::new(MemberState {
+                generation: 0,
+                world,
+                pending_joins: 0,
+                observer: None,
+            })),
+        }
+    }
+
+    /// World size of the current generation.
+    pub fn world(&self) -> usize {
+        self.state.lock().world
+    }
+
+    /// Current generation number (0 until the first resize/recovery).
+    pub fn generation(&self) -> u64 {
+        self.state.lock().generation
+    }
+
+    /// Ranks queued to join at the next generation barrier.
+    pub fn pending_joins(&self) -> usize {
+        self.state.lock().pending_joins
+    }
+
+    /// Queue one rank to join at the next generation barrier and notify
+    /// the current group so it retires its in-flight collectives.
+    pub fn request_join(&self) {
+        self.request_joins(1);
+    }
+
+    /// Queue `count` ranks to join at the next generation barrier.
+    pub fn request_joins(&self, count: usize) {
+        if count == 0 {
+            return;
+        }
+        let (observer, pending) = {
+            let mut st = self.state.lock();
+            st.pending_joins += count;
+            (st.observer.clone(), st.pending_joins)
+        };
+        // Notify outside the lock: the observer latches the group barrier
+        // (its own lock) and the membership lock must never nest inside it.
+        if let Some(obs) = observer {
+            obs(pending);
+        }
+    }
+
+    /// Register the current generation's group as the join observer,
+    /// replacing any retired predecessor. Called by the `CommGroup`
+    /// membership-aware constructors.
+    pub(crate) fn set_observer(&self, observer: Observer) {
+        self.state.lock().observer = Some(observer);
+    }
+
+    /// Advance to the next generation: fold the pending joins into
+    /// `base_world` (the world the recovery layer is resuming from —
+    /// survivors only, so a shrink and a grow compose), clear the queue,
+    /// and bump the generation. Returns `(generation, new_world)`.
+    pub fn next_generation(&self, base_world: usize) -> (u64, usize) {
+        assert!(base_world > 0, "next generation needs at least one survivor");
+        let mut st = self.state.lock();
+        st.world = base_world + st.pending_joins;
+        st.pending_joins = 0;
+        st.generation += 1;
+        (st.generation, st.world)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn joins_queue_and_fold_into_next_generation() {
+        let m = Membership::new(4);
+        assert_eq!((m.generation(), m.world(), m.pending_joins()), (0, 4, 0));
+
+        m.request_join();
+        m.request_joins(2);
+        assert_eq!(m.pending_joins(), 3);
+        assert_eq!(m.world(), 4, "joins are not members until the generation turns");
+
+        // A shrink (4 → 3 survivors) composes with the queued joins.
+        let (generation, world) = m.next_generation(3);
+        assert_eq!((generation, world), (1, 6));
+        assert_eq!(m.pending_joins(), 0);
+        assert_eq!(m.world(), 6);
+
+        // No pending joins: the generation still turns, world unchanged.
+        assert_eq!(m.next_generation(6), (2, 6));
+    }
+
+    #[test]
+    fn observer_fires_with_cumulative_pending_count() {
+        let m = Membership::new(2);
+        let seen = Arc::new(AtomicUsize::new(0));
+        let s2 = Arc::clone(&seen);
+        m.set_observer(Arc::new(move |pending| s2.store(pending, Ordering::SeqCst)));
+        m.request_join();
+        assert_eq!(seen.load(Ordering::SeqCst), 1);
+        m.request_joins(2);
+        assert_eq!(seen.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let m = Membership::new(2);
+        let c = m.clone();
+        c.request_join();
+        assert_eq!(m.pending_joins(), 1);
+        m.next_generation(2);
+        assert_eq!(c.world(), 3);
+        assert_eq!(c.generation(), 1);
+    }
+
+    #[test]
+    fn zero_count_join_is_a_no_op() {
+        let m = Membership::new(2);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f2 = Arc::clone(&fired);
+        m.set_observer(Arc::new(move |_| {
+            f2.fetch_add(1, Ordering::SeqCst);
+        }));
+        m.request_joins(0);
+        assert_eq!(m.pending_joins(), 0);
+        assert_eq!(fired.load(Ordering::SeqCst), 0, "no observer call for an empty join");
+    }
+}

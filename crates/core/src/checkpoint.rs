@@ -211,7 +211,11 @@ fn parse_blob(bytes: &[u8]) -> Result<Blob> {
 /// engine required.
 pub fn reshard_checkpoint_blobs(blobs: &[Vec<u8>], new_world: usize) -> Result<Vec<Vec<u8>>> {
     if blobs.is_empty() || new_world == 0 {
-        return Err(Error::InvalidArgument("reshard needs ≥1 blob and new_world ≥ 1".into()));
+        return Err(Error::IncompatibleWorld {
+            from: blobs.len(),
+            to: new_world,
+            context: "reshard needs ≥1 source blob and ≥1 target rank".into(),
+        });
     }
     let old_world = blobs.len();
     let parsed: Vec<Blob> = blobs.iter().map(|b| parse_blob(b)).collect::<Result<_>>()?;
@@ -263,10 +267,15 @@ pub fn reshard_checkpoint_blobs(blobs: &[Vec<u8>], new_world: usize) -> Result<V
                 let rec = &b.records[j];
                 for (acc, vals) in full.iter_mut().zip([&rec.master, &rec.m, &rec.v]) {
                     if vals.len() != shard_len {
-                        return Err(Error::InvalidArgument(format!(
-                            "param {j}: shard of {} elements, expected {shard_len}",
-                            vals.len()
-                        )));
+                        return Err(Error::IncompatibleWorld {
+                            from: old_world,
+                            to: new_world,
+                            context: format!(
+                                "param {j}: shard of {} elements, expected {shard_len} \
+                                 for a world-{old_world} partitioning",
+                                vals.len()
+                            ),
+                        });
                     }
                     acc.extend_from_slice(vals);
                 }
@@ -338,11 +347,11 @@ impl ZeroEngine {
             )));
         }
         if blob.world != self.world_size() {
-            return Err(Error::InvalidArgument(format!(
-                "checkpoint from world {} loaded on world {} (reshard it first)",
-                blob.world,
-                self.world_size()
-            )));
+            return Err(Error::IncompatibleWorld {
+                from: blob.world,
+                to: self.world_size(),
+                context: "checkpoint world does not match engine world (reshard it first)".into(),
+            });
         }
         if blob.partitioned != self.strategy().partition_optimizer {
             return Err(Error::InvalidArgument(
@@ -622,5 +631,64 @@ mod tests {
         assert!(reshard_checkpoint_blobs(&[mk(0, 2, 1), mk(1, 2, 2)], 1).is_err());
         // Consistent set passes.
         assert!(reshard_checkpoint_blobs(&[mk(0, 2, 1), mk(1, 2, 1)], 1).is_ok());
+    }
+
+    /// Incompatible targets come back as the typed `IncompatibleWorld`
+    /// error, not a catch-all, even for hostile shard payloads.
+    #[test]
+    fn reshard_incompatible_targets_are_typed() {
+        let mk = |rank: usize, world: usize, shard: usize| {
+            write_blob(&Blob {
+                rank,
+                world,
+                partitioned: true,
+                records: vec![ParamRecord {
+                    step: 1,
+                    numel: 4,
+                    master: vec![0.0; shard],
+                    m: vec![0.0; shard],
+                    v: vec![0.0; shard],
+                }],
+            })
+        };
+
+        // Zero target ranks / empty source set.
+        match reshard_checkpoint_blobs(&[mk(0, 1, 4)], 0) {
+            Err(Error::IncompatibleWorld { from: 1, to: 0, .. }) => {}
+            other => panic!("expected IncompatibleWorld for new_world 0, got {other:?}"),
+        }
+        match reshard_checkpoint_blobs(&[], 3) {
+            Err(Error::IncompatibleWorld { from: 0, to: 3, .. }) => {}
+            other => panic!("expected IncompatibleWorld for empty set, got {other:?}"),
+        }
+
+        // Hostile shard layout: blob claims world 2 (shard_len 2 for
+        // numel 4) but carries 3-element shards. The layout cannot be a
+        // world-2 partitioning, so growing it to 3 must fail typed.
+        let hostile = vec![mk(0, 2, 3), mk(1, 2, 3)];
+        match reshard_checkpoint_blobs(&hostile, 3) {
+            Err(Error::IncompatibleWorld { from: 2, to: 3, ref context }) => {
+                assert!(context.contains("expected 2"), "context: {context}");
+            }
+            other => panic!("expected IncompatibleWorld for bad shard len, got {other:?}"),
+        }
+
+        // Engine-side world mismatch on load is typed the same way.
+        let model = GptModel::new(GptConfig::tiny());
+        let n = node();
+        let mut eng = engine_for(&n, &model, Strategy::data_parallel().with_f32_params());
+        let mut wrong_world = parse_blob(&eng.save_state().unwrap()).unwrap();
+        wrong_world.world = 2;
+        match eng.load_state(&write_blob(&wrong_world)) {
+            Err(Error::IncompatibleWorld { from: 2, to: 1, .. }) => {}
+            other => panic!("expected IncompatibleWorld on world-mismatched load, got {other:?}"),
+        }
+
+        // Malformed-but-compatible inputs stay InvalidArgument: the
+        // rank-order violation is a caller bug, not a layout limit.
+        match reshard_checkpoint_blobs(&[mk(1, 2, 2), mk(0, 2, 2)], 1) {
+            Err(Error::InvalidArgument(_)) => {}
+            other => panic!("expected InvalidArgument for rank disorder, got {other:?}"),
+        }
     }
 }

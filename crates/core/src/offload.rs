@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use zi_comm::{CommConfig, CommGroup};
+use zi_comm::{CommConfig, CommGroup, Membership};
 use zi_memory::{Block, MemoryHierarchy, NodeMemorySpec, PinnedBufferPool};
 use zi_nvme::{checksum::crc32, FileBackend, MemBackend, NvmeEngine, RetryPolicy, StorageBackend, Ticket};
 use zi_tensor::FlatBuffer;
@@ -190,6 +190,35 @@ impl NodeResources {
         comm: CommConfig,
         tracer: Tracer,
     ) -> Self {
+        let group = CommGroup::with_config_tracer(world, comm, tracer.clone());
+        Self::assemble(spec, backend, policy, group, tracer)
+    }
+
+    /// [`Self::with_backend_policy_comm_tracer`] whose comm group is
+    /// registered with a [`Membership`]: ranks queued to join latch a
+    /// resize on this node's group, retiring it with
+    /// `Error::MembershipChange` so the elastic trainer can rebuild at
+    /// the grown world.
+    pub fn with_membership(
+        spec: &NodeMemorySpec,
+        world: WorldSize,
+        backend: Arc<dyn StorageBackend>,
+        policy: RetryPolicy,
+        comm: CommConfig,
+        tracer: Tracer,
+        membership: &Membership,
+    ) -> Self {
+        let group = CommGroup::with_membership_tracer(world, comm, tracer.clone(), membership);
+        Self::assemble(spec, backend, policy, group, tracer)
+    }
+
+    fn assemble(
+        spec: &NodeMemorySpec,
+        backend: Arc<dyn StorageBackend>,
+        policy: RetryPolicy,
+        group: CommGroup,
+        tracer: Tracer,
+    ) -> Self {
         NodeResources {
             hierarchy: Arc::new(MemoryHierarchy::new(spec)),
             nvme: Arc::new(NvmeEngine::with_policy_tracer(
@@ -203,7 +232,7 @@ impl NodeResources {
                 PINNED_BUF_BYTES,
                 tracer.clone(),
             ),
-            group: CommGroup::with_config_tracer(world, comm, tracer.clone()),
+            group,
             resilience: Arc::new(ResilienceState::default()),
             tracer,
         }

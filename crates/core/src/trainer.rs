@@ -13,7 +13,8 @@ use std::time::Duration;
 use zi_adapt::{
     AdaptiveController, ControllerConfig, DecisionEvent, KnobBounds, KnobCell, Knobs, ResetReason,
 };
-use zi_comm::{CommConfig, CommFaultPlan};
+use zi_chaos::ChaosPlan;
+use zi_comm::{CommConfig, CommFaultPlan, Membership};
 use zi_memory::NodeMemorySpec;
 use zi_sync::Mutex;
 use zi_model::{DenseStore, GptConfig, GptModel, InMemoryActStore, NoopObserver, RunOptions};
@@ -119,11 +120,12 @@ pub struct TrainOutcome {
     /// Offload-path health at the end of the run (failover and
     /// corruption counters).
     pub health: OffloadHealth,
-    /// Elastic world-shrink events, in order: one entry per rank failure
-    /// the session survived by re-partitioning onto fewer ranks.
+    /// Elastic world-resize events, in order: one entry per shrink (a
+    /// rank failure survived by re-partitioning onto fewer ranks) or
+    /// grow (joining ranks folded in from the durable store).
     pub elastic: Vec<ElasticEvent>,
-    /// Data-parallel degree the run finished with (smaller than
-    /// `spec.world` after elastic shrinks).
+    /// Data-parallel degree the run finished with (differs from
+    /// `spec.world` after elastic shrinks/grows).
     pub final_world: usize,
     /// Overlap knobs the adaptive controller finished with; `None` when
     /// the run was not adaptive.
@@ -134,16 +136,18 @@ pub struct TrainOutcome {
     pub decisions: Vec<DecisionEvent>,
 }
 
-/// One elastic world-shrink: a rank died mid-run and the survivors
-/// re-partitioned state from the last durable checkpoint and resumed.
+/// One elastic world-resize: mid-run, a rank died (shrink), joiners
+/// arrived (grow), or both, and the session re-partitioned state from
+/// the last durable checkpoint and resumed at the new degree.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ElasticEvent {
-    /// The rank the communication layer blamed for the failure, when it
-    /// could tell (a latched timeout knows; a panic does not).
+    /// The rank the communication layer blamed for the failure, when
+    /// there was one and it could tell (a latched timeout knows; a panic
+    /// does not; a pure grow has no failure at all).
     pub failed_rank: Option<usize>,
-    /// Data-parallel degree before the shrink.
+    /// Data-parallel degree before the resize.
     pub from_world: usize,
-    /// Data-parallel degree after the shrink.
+    /// Data-parallel degree after the resize.
     pub to_world: usize,
     /// Optimizer step of the durable checkpoint the survivors resumed
     /// from; `None` means no complete checkpoint existed and training
@@ -170,6 +174,14 @@ pub struct TrainEnv {
     /// node, engine workers and rank threads share it, so one trace
     /// covers the session end to end. `None` provisions a private one.
     pub tracer: Option<Tracer>,
+    /// Composed chaos timeline. Rank 0 arms its events at the top of
+    /// each step, so storage faults, comm faults and membership events
+    /// (kills, joins) fire from one deterministic schedule. The caller
+    /// must separately wire the plan's fault handles into the planes it
+    /// wants driven (`storage_plan()` into `backend`, `comm_plan()` into
+    /// `comm_faults`); membership events need no wiring — the session's
+    /// membership is passed to the plan at each step.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl TrainEnv {
@@ -182,6 +194,7 @@ impl TrainEnv {
             comm_faults: CommFaultPlan::new(),
             store: None,
             tracer: None,
+            chaos: None,
         }
     }
 }
@@ -291,6 +304,21 @@ fn is_storage_failure(e: &Error) -> bool {
     e.is_device_failure() || matches!(e, Error::Corruption { .. })
 }
 
+/// Classification precedence when ranks exit with different errors in
+/// the same attempt. A root cause (storage death, OOM, …) cascades into
+/// `RankFailed` on the siblings it aborted, and into `MembershipChange`
+/// on ranks that happened to hit the retiring barrier first — so the
+/// session is classified by the highest-severity error any rank saw.
+fn error_severity(e: &Error) -> u8 {
+    if e.is_membership_change() {
+        0
+    } else if e.is_rank_failure() {
+        1
+    } else {
+        2
+    }
+}
+
 /// [`train_gpt_on`] with an explicit NVMe retry policy; see
 /// [`train_gpt_env`] for the full recovery semantics.
 pub fn train_gpt_with_policy(
@@ -366,9 +394,22 @@ impl Drop for AbortOnDrop {
 ///   `world - 1` ranks via [`reshard_checkpoint_blobs`], and training
 ///   resumes on the shrunken group. Each shrink is recorded in
 ///   [`TrainOutcome::elastic`].
+/// * **Membership change** (ranks queued to join via the session's
+///   [`Membership`], e.g. from a [`ChaosPlan`] `RankJoin` event):
+///   elastic world-grow. The group retires voluntarily with
+///   [`Error::MembershipChange`] on every rank, the joins fold into the
+///   next generation, the same durable shard set is re-partitioned onto
+///   the *larger* world, and training resumes bit-for-bit from the last
+///   durable version — the inverse of a shrink, through the same
+///   machinery.
 ///
-/// Either path consumes one unit of `spec.max_recoveries` budget; with
-/// the budget exhausted the classified error is surfaced.
+/// Failure paths consume one unit of `spec.max_recoveries` budget each;
+/// with the budget exhausted the classified error is surfaced. A pure
+/// grow is free — nothing failed. Joins compose with concurrent
+/// failures: a kill and a join in the same window first shrink the
+/// survivor set, then fold the joiner in (world 4 → kill → 3 survivors
+/// plus 1 joiner → 4 again, with no reshard needed at all since the
+/// checkpoint layout still matches).
 pub fn train_gpt_env(spec: &TrainSpec, env: TrainEnv) -> Result<TrainOutcome> {
     let spec = *spec;
     if spec.world == 0 {
@@ -401,13 +442,22 @@ pub fn train_gpt_env(spec: &TrainSpec, env: TrainEnv) -> Result<TrainOutcome> {
         let initial = spec.strategy.with_prefetch_window(spec.prefetch_window).knobs();
         Arc::new(AdaptiveSession::new(initial))
     });
+    // Session-scoped membership: outlives every per-attempt comm group,
+    // carrying the join queue and generation counter across rebuilds.
+    let membership = Membership::new(spec.world);
+    let chaos = env.chaos.clone();
     let mut world = spec.world;
     let mut degraded_start = false;
     let mut recoveries = 0usize;
     let mut elastic: Vec<ElasticEvent> = Vec::new();
     loop {
-        let node = Arc::new(NodeResources::with_backend_policy_comm_tracer(
-            &spec.node,
+        // A world grown past the spec's starting size needs a GPU pool
+        // (and device index) for every joined rank too; widen the node
+        // spec to whatever this attempt actually runs.
+        let mut node_spec = spec.node;
+        node_spec.gpus = node_spec.gpus.max(world);
+        let node = Arc::new(NodeResources::with_membership(
+            &node_spec,
             world,
             Arc::clone(&env.backend),
             env.policy,
@@ -416,6 +466,7 @@ pub fn train_gpt_env(spec: &TrainSpec, env: TrainEnv) -> Result<TrainOutcome> {
                 faults: env.comm_faults.clone(),
             },
             tracer.clone(),
+            &membership,
         ));
         if degraded_start {
             node.degrade();
@@ -430,15 +481,34 @@ pub fn train_gpt_env(spec: &TrainSpec, env: TrainEnv) -> Result<TrainOutcome> {
             let node = Arc::clone(&node);
             let vault = Arc::clone(&vault);
             let adapt = adapt.clone();
+            let membership = membership.clone();
+            let chaos = chaos.clone();
             handles.push(
                 thread::Builder::new()
                     .name(format!("zi-rank-{rank}"))
                     .spawn(move || {
                         let mut guard =
                             AbortOnDrop { node: Arc::clone(&node), rank, armed: true };
-                        let res =
-                            run_rank(rank, &spec, world, &node, &vault, resume, adapt.as_deref());
-                        if res.is_ok() {
+                        let res = run_rank(
+                            rank,
+                            &spec,
+                            world,
+                            &node,
+                            &vault,
+                            resume,
+                            adapt.as_deref(),
+                            &membership,
+                            chaos.as_ref(),
+                        );
+                        // A membership change is a voluntary group
+                        // retirement, not a failure: marking this rank
+                        // failed would cascade RankFailed onto siblings
+                        // and misclassify the grow as a shrink. Peers
+                        // blocked in collectives are already woken by
+                        // the resize latch itself.
+                        let benign = res.is_ok()
+                            || matches!(&res, Err(e) if e.is_membership_change());
+                        if benign {
                             guard.armed = false;
                         }
                         res
@@ -458,13 +528,14 @@ pub fn train_gpt_env(spec: &TrainSpec, env: TrainEnv) -> Result<TrainOutcome> {
                 }
                 Ok(Err(e)) => {
                     // A device error on one rank cascades into RankFailed
-                    // on its siblings (coordinated abort); classify the
-                    // session by the root cause, not by whichever rank
-                    // happened to join first.
+                    // on its siblings (coordinated abort) and a retiring
+                    // barrier hands MembershipChange to whoever reaches
+                    // it; classify the session by the root cause, not by
+                    // whichever rank happened to join first.
                     saw_storage_failure |= is_storage_failure(&e);
                     let replace = match &first_err {
                         None => true,
-                        Some(f) => f.is_rank_failure() && !e.is_rank_failure(),
+                        Some(f) => error_severity(&e) > error_severity(f),
                     };
                     if replace {
                         first_err = Some(e);
@@ -498,10 +569,15 @@ pub fn train_gpt_env(spec: &TrainSpec, env: TrainEnv) -> Result<TrainOutcome> {
                 return Ok(out);
             }
             Some(e) => {
-                if recoveries >= spec.max_recoveries {
-                    return Err(e);
-                }
-                if saw_storage_failure || is_storage_failure(&e) {
+                // First decide the surviving base world (and spend the
+                // recovery budget); then fold pending joins in through
+                // the membership's generation turn. Budget rules: a
+                // storage failure or rank death costs one recovery, a
+                // pure membership change costs nothing — nothing failed.
+                let base_world = if saw_storage_failure || is_storage_failure(&e) {
+                    if recoveries >= spec.max_recoveries {
+                        return Err(e);
+                    }
                     recoveries += 1;
                     // If the device died, the replacement run must not
                     // trust it: start degraded (all NVMe stores on CPU).
@@ -513,18 +589,52 @@ pub fn train_gpt_env(spec: &TrainSpec, env: TrainEnv) -> Result<TrainOutcome> {
                     if let Some(a) = &adapt {
                         a.regime_reset(ResetReason::CheckpointRestart);
                     }
+                    world
                 } else if e.is_rank_failure() && world > 1 {
+                    if recoveries >= spec.max_recoveries {
+                        return Err(e);
+                    }
                     recoveries += 1;
+                    world - 1
+                } else if e.is_membership_change() {
+                    world
+                } else {
+                    return Err(e);
+                };
+                // Capture the blamed rank before the group is dropped,
+                // then turn the generation: pending joins fold into the
+                // survivor count (kill + join in one window cancel out).
+                let failed_rank = node.group.failed_rank();
+                let (_generation, new_world) = membership.next_generation(base_world);
+                if new_world != world {
                     // Settle in-flight background saves first; one that
                     // failed during the crash just means an older
                     // complete checkpoint wins.
                     let _ = vault.store.drain();
+                    if new_world > vault.store.ranks() {
+                        return Err(Error::IncompatibleWorld {
+                            from: world,
+                            to: new_world,
+                            context: format!(
+                                "checkpoint store holds {} rank slot(s); provision the store \
+                                 for the largest world the session may grow to",
+                                vault.store.ranks()
+                            ),
+                        });
+                    }
+                    // Scan for the newest version complete at the
+                    // *current* world: after an earlier shrink the dead
+                    // rank's stale blob may still sit at the old degree,
+                    // and only the current world's republished set is
+                    // trustworthy. The republish below overwrites any
+                    // such stale slots at this version.
                     let resumed = vault.latest_consistent(world)?;
                     if let Some(version) = resumed {
-                        // Re-partition the full shard set onto the
-                        // shrunken world and republish it synchronously
-                        // at the same version, so the next session's
-                        // latest-complete scan at `world - 1` finds it.
+                        // Re-partition the full shard set onto the new
+                        // world — fewer ranks after a shrink, more after
+                        // a grow — and republish it synchronously at the
+                        // same version, so the next attempt's
+                        // latest-complete scan at `new_world` finds it.
                         let mut blobs = Vec::with_capacity(world);
                         let mut saved_losses = Vec::new();
                         for rank in 0..world {
@@ -534,32 +644,31 @@ pub fn train_gpt_env(spec: &TrainSpec, env: TrainEnv) -> Result<TrainOutcome> {
                             }
                             blobs.push(blob);
                         }
-                        let resharded = reshard_checkpoint_blobs(&blobs, world - 1)?;
+                        let resharded = reshard_checkpoint_blobs(&blobs, new_world)?;
                         for (rank, blob) in resharded.into_iter().enumerate() {
                             let payload = encode_checkpoint_payload(&blob, &saved_losses);
                             vault.save_sync(rank, version, payload)?;
                         }
                     }
                     elastic.push(ElasticEvent {
-                        failed_rank: node.group.failed_rank(),
+                        failed_rank,
                         from_world: world,
-                        to_world: world - 1,
+                        to_world: new_world,
                         resumed_from_step: resumed,
                     });
-                    world -= 1;
-                    // Fewer ranks → bigger shards per rank and different
+                    world = new_world;
+                    // Different rank count → different shard sizes and
                     // collective pressure: a fresh search regime.
                     if let Some(a) = &adapt {
-                        a.regime_reset(ResetReason::ElasticShrink);
+                        a.regime_reset(ResetReason::ElasticResize);
                     }
-                } else {
-                    return Err(e);
                 }
             }
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)] // internal orchestration seam, not public API
 fn run_rank(
     rank: usize,
     spec: &TrainSpec,
@@ -568,6 +677,8 @@ fn run_rank(
     vault: &DurableVault,
     resume: Option<usize>,
     adapt: Option<&AdaptiveSession>,
+    membership: &Membership,
+    chaos: Option<&ChaosPlan>,
 ) -> Result<TrainOutcome> {
     let model = GptModel::new(spec.model);
     let comm = node.group.communicator(rank);
@@ -626,6 +737,16 @@ fn run_rank(
         None
     };
     for step in start_step..spec.steps {
+        // Arm this step's chaos events (rank 0 only, so each fires
+        // exactly once) before any collective of the step: a kill or
+        // join armed here gates the whole group's progress through this
+        // step's barriers, which is what makes composed schedules
+        // deterministic at step granularity.
+        if rank == 0 {
+            if let Some(plan) = chaos {
+                plan.begin_step(step as u64, membership);
+            }
+        }
         // Envelope span delimiting this rank's step for the overlap
         // report; the real compute spans ("fwdbwd", "adam_chunk") nest
         // inside it and are counted separately.

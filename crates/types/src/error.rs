@@ -83,6 +83,31 @@ pub enum Error {
         /// Version this build understands.
         expected: u32,
     },
+    /// A checkpoint shard set cannot be re-partitioned onto the requested
+    /// world size: the target is incompatible with the shard layout (zero
+    /// ranks, inconsistent shard counts, or a store that cannot hold the
+    /// target world). Distinct from [`Error::InvalidArgument`] so elastic
+    /// recovery can tell "this grow/shrink is impossible" apart from
+    /// malformed inputs.
+    IncompatibleWorld {
+        /// World size the shards are currently partitioned for.
+        from: usize,
+        /// Requested target world size.
+        to: usize,
+        /// What made the re-partitioning impossible.
+        context: String,
+    },
+    /// The communicator group is retiring voluntarily because membership
+    /// changed: one or more ranks are waiting to join at the next
+    /// generation barrier. Unlike [`Error::RankFailed`] nothing died —
+    /// survivors should re-partition state onto the *larger* world and
+    /// resume from the last durable version.
+    MembershipChange {
+        /// Number of ranks waiting to join the next generation.
+        joining: usize,
+        /// The collective in flight when the change surfaced.
+        context: String,
+    },
     /// An invalid argument or configuration was supplied.
     InvalidArgument(String),
     /// Internal invariant violated (a bug in this library).
@@ -122,6 +147,14 @@ impl Error {
     pub fn is_rank_failure(&self) -> bool {
         matches!(self, Error::RankFailed { .. } | Error::CollectiveTimeout { .. })
     }
+
+    /// True if this error means the communicator group retired because new
+    /// ranks are joining: nothing failed, the caller should re-partition
+    /// onto the grown world and resume. Deliberately *not* a rank failure —
+    /// a grow must not consume the recovery budget or shrink the world.
+    pub fn is_membership_change(&self) -> bool {
+        matches!(self, Error::MembershipChange { .. })
+    }
 }
 
 impl fmt::Display for Error {
@@ -151,6 +184,14 @@ impl fmt::Display for Error {
             Error::VersionMismatch { context, found, expected } => {
                 write!(f, "version mismatch: {context}: found {found}, expected {expected}")
             }
+            Error::IncompatibleWorld { from, to, context } => {
+                write!(f, "incompatible world: cannot reshard world {from} -> {to}: {context}")
+            }
+            Error::MembershipChange { joining, context } => write!(
+                f,
+                "membership change: {joining} rank(s) joining at next generation \
+                 (during {context}); group retired for regrow"
+            ),
             Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             Error::Internal(msg) => write!(f, "internal error: {msg}"),
         }
@@ -253,6 +294,33 @@ mod tests {
             deadline: std::time::Duration::from_millis(50),
         };
         assert!(!timeout.is_rank_failure());
+    }
+
+    #[test]
+    fn membership_change_classification() {
+        let join = Error::MembershipChange { joining: 1, context: "allreduce".into() };
+        assert!(join.is_membership_change());
+        assert!(!join.is_rank_failure(), "a grow must not look like a rank death");
+        assert!(!join.is_device_failure());
+        assert!(!join.is_transient());
+        let s = join.to_string();
+        assert!(s.contains("1 rank(s) joining") && s.contains("allreduce"));
+
+        // Rank failures and storage errors are not membership changes.
+        let dead = Error::RankFailed { rank: 0, context: "barrier".into() };
+        assert!(!dead.is_membership_change());
+        let io: Error = std::io::Error::other("x").into();
+        assert!(!io.is_membership_change());
+    }
+
+    #[test]
+    fn incompatible_world_display() {
+        let e = Error::IncompatibleWorld { from: 4, to: 0, context: "zero target ranks".into() };
+        assert!(!e.is_rank_failure());
+        assert!(!e.is_membership_change());
+        assert!(!e.is_transient());
+        let s = e.to_string();
+        assert!(s.contains("world 4 -> 0") && s.contains("zero target ranks"));
     }
 
     #[test]

@@ -1,100 +1,123 @@
-//! Checkpoint / resume through the crash-consistent [`CheckpointStore`]:
-//! save a rank's training state mid-run into a versioned on-disk store,
-//! reattach to the store in a fresh engine (as a restarted process
-//! would), and continue — reproducing the uninterrupted trajectory
-//! exactly.
+//! Elastic world-grow resume through the crash-consistent
+//! [`CheckpointStore`]: the same durable checkpoint carries a training
+//! session from 3 data-parallel ranks onto 4, two different ways.
 //!
-//! Each rank saves only its own optimizer shard (~12 bytes x params / dp),
-//! the same no-replication principle ZeRO applies to training itself.
-//! The store adds a superblock + per-slot manifest with CRC32-C over
-//! both manifest and payload, publishes each save atomically, and on
-//! recovery offers the newest version that is durably complete — so a
-//! crash mid-save can never surface a torn checkpoint.
+//! **Path A — in-session grow.** A 3-rank session checkpoints into a
+//! store provisioned with one spare rank slot. Mid-run a replacement
+//! rank asks to join ([`ChaosPlan`] schedules the membership event);
+//! the running group retires voluntarily at its next barrier, the
+//! session re-partitions optimizer state from the last durable version
+//! onto 4 ranks and trains on. No recovery budget is spent — nothing
+//! failed.
+//!
+//! **Path B — resume from the durable store.** A 3-rank session runs
+//! the same prefix and exits after publishing the checkpoint (simulated
+//! process exit). A 4-rank cluster then reattaches to the store file,
+//! re-shards the 3 optimizer shards onto 4 through the public
+//! checkpoint API, and resumes to completion.
+//!
+//! Both paths replay the exact same token stream from the same durable
+//! state, so their trajectories — and final parameters — match bit for
+//! bit.
 //!
 //! Run with: `cargo run --release --example resume_training`
 
 use std::sync::Arc;
 
-use zero_infinity_suite::model::{GptConfig, GptModel, RunOptions};
-use zero_infinity_suite::optim::AdamConfig;
-use zero_infinity_suite::zero::trainer::synthetic_batch;
-use zero_infinity_suite::zero::{NodeResources, Strategy, ZeroEngine};
-use zi_memory::NodeMemorySpec;
-use zi_nvme::{CheckpointStore, FileBackend};
+use zero_infinity_suite::chaos::{ChaosEvent, ChaosPlan};
+use zero_infinity_suite::model::GptConfig;
+use zero_infinity_suite::zero::{
+    decode_checkpoint_payload, encode_checkpoint_payload, reshard_checkpoint_blobs,
+    train_gpt_env, Strategy, TrainEnv, TrainSpec,
+};
+use zi_nvme::{CheckpointStore, FileBackend, MemBackend};
 
-fn new_engine(model: &GptModel) -> (NodeResources, ZeroEngine) {
-    let node =
-        NodeResources::in_memory(&NodeMemorySpec::test_spec(1, 1 << 24, 1 << 26, 1 << 26), 1);
-    let engine = ZeroEngine::new(
-        model.registry(),
-        Strategy::infinity_nvme(),
-        node.offload_manager(),
-        node.group.communicator(0),
-        AdamConfig { lr: 0.01, ..Default::default() },
-    )
-    .expect("engine");
-    (node, engine)
-}
-
-fn steps(
-    model: &GptModel,
-    engine: &mut ZeroEngine,
-    cfg: &GptConfig,
-    range: std::ops::Range<usize>,
-) -> Vec<f32> {
-    let opts = RunOptions { batch: 2, ..Default::default() };
-    range
-        .map(|step| {
-            let (tokens, targets) = synthetic_batch(cfg, 2, step);
-            let loss = model.train_step(engine, &tokens, &targets, &opts).expect("step");
-            engine.step().expect("optimizer");
-            loss
-        })
-        .collect()
+fn spec(world: usize) -> TrainSpec {
+    let cfg = GptConfig { vocab: 32, hidden: 16, layers: 2, heads: 4, seq: 8, seed: 42 };
+    let mut spec =
+        TrainSpec::test_default(cfg, Strategy::infinity_nvme().with_f32_params(), world);
+    spec.steps = 8;
+    spec.checkpoint_every = 3; // durable at v3 and v6
+    spec
 }
 
 fn main() {
-    let cfg = GptConfig { vocab: 32, hidden: 16, layers: 2, heads: 4, seq: 8, seed: 42 };
-    let model = GptModel::new(cfg);
+    // --- Path A: 3 ranks, a replacement joins at step 5. ------------
+    let grown = {
+        // One spare slot: the store must be provisioned for the largest
+        // world the session may grow to.
+        let store =
+            CheckpointStore::new(Arc::new(MemBackend::new()), 4, 2).expect("create store");
+        let plan = ChaosPlan::new();
+        plan.schedule(5, ChaosEvent::RankJoin { ranks: 1 });
+        let mut env = TrainEnv::new(Arc::new(MemBackend::new()));
+        env.store = Some(store);
+        env.chaos = Some(plan);
+        train_gpt_env(&spec(3), env).expect("elastic grow session")
+    };
+    assert_eq!(grown.final_world, 4, "the joiner must be folded in");
+    assert_eq!(grown.recoveries, 0, "a grow spends no recovery budget");
+    let ev = &grown.elastic[0];
+    let version = ev.resumed_from_step.expect("a durable version backs the grow");
+    println!(
+        "in-session grow: world {} -> {}, resharded durable v{version}, {} recoveries",
+        ev.from_world, ev.to_world, grown.recoveries
+    );
 
-    // Reference: 8 uninterrupted steps.
-    let (_n1, mut continuous) = new_engine(&model);
-    let reference = steps(&model, &mut continuous, &cfg, 0..8);
-
-    // Interrupted: 4 steps, durable save into a 2-slot on-disk store.
-    let path = std::env::temp_dir().join(format!("zi_resume_{}.ckpt", std::process::id()));
-    let (_n2, mut first_half) = new_engine(&model);
-    let before = steps(&model, &mut first_half, &cfg, 0..4);
+    // --- Path B: durable 3-rank prefix, then a 4-rank resume. --------
+    let path = std::env::temp_dir().join(format!("zi_grow_{}.ckpt", std::process::id()));
     {
+        let mut prefix = spec(3);
+        prefix.steps = version; // stop right after the durable save
         let backend = Arc::new(FileBackend::create(&path).expect("create store file"));
-        let store = CheckpointStore::new(backend, 1, 2).expect("create store");
-        let blob = first_half.save_state().expect("save");
-        store.save(0, 4, &blob).expect("durable save");
-        println!("checkpoint v4 published: {} bytes at {}", blob.len(), path.display());
+        let store = CheckpointStore::new(backend, 4, 2).expect("create store");
+        let mut env = TrainEnv::new(Arc::new(MemBackend::new()));
+        env.store = Some(store);
+        train_gpt_env(&prefix, env).expect("3-rank prefix");
     } // store (and its background writer) dropped: simulated process exit
-    first_half.dispose().expect("dispose");
 
-    // Resume: reattach to the store from nothing but the file, ask for
-    // the newest durably complete version, and load it.
+    // Reattach from nothing but the file, as a restarted — and larger —
+    // cluster would, and re-shard the newest durable version 3 -> 4.
     let backend = Arc::new(FileBackend::open(&path).expect("reopen store file"));
     let store = CheckpointStore::open(backend).expect("reopen store");
-    let version = store
-        .latest_complete(1)
+    let v = store
+        .latest_complete(3)
         .expect("scan store")
         .expect("a complete checkpoint must exist");
-    let (_n3, mut resumed) = new_engine(&model);
-    resumed.load_state(&store.load(0, version).expect("load v4")).expect("load");
-    println!("recovered checkpoint v{version} after reattach");
-    let after = steps(&model, &mut resumed, &cfg, version as usize..8);
-    std::fs::remove_file(&path).ok();
+    assert_eq!(v as usize, version);
+    let mut blobs = Vec::new();
+    let mut saved_losses = Vec::new();
+    for rank in 0..3 {
+        let payload = store.load(rank, v).expect("load shard");
+        let (blob, losses) = decode_checkpoint_payload(&payload).expect("decode");
+        if rank == 0 {
+            saved_losses = losses;
+        }
+        blobs.push(blob);
+    }
+    let resharded = reshard_checkpoint_blobs(&blobs, 4).expect("reshard 3 -> 4");
+    for (rank, blob) in resharded.iter().enumerate() {
+        let payload = encode_checkpoint_payload(blob, &saved_losses);
+        store.save(rank, v, &payload).expect("republish at world 4");
+    }
+    println!("reattached {}: re-sharded durable v{v} onto 4 ranks", path.display());
 
+    let mut env = TrainEnv::new(Arc::new(MemBackend::new()));
+    env.store = Some(store);
+    let resumed = train_gpt_env(&spec(4), env).expect("4-rank resume");
+    std::fs::remove_file(&path).ok();
+    assert!(resumed.elastic.is_empty(), "a clean resume needs no elasticity");
+
+    // --- The two paths must agree exactly. ---------------------------
     println!();
-    println!("{:>5} {:>14} {:>14}", "step", "continuous", "interrupted");
-    for (i, r) in reference.iter().enumerate() {
-        let other = if i < 4 { before[i] } else { after[i - 4] };
-        println!("{i:>5} {r:>14.6} {other:>14.6}");
-        assert_eq!(*r, other, "trajectory diverged at step {i}");
+    println!("{:>5} {:>14} {:>14}", "step", "in-session", "store-resume");
+    for (i, (a, b)) in grown.losses.iter().zip(&resumed.losses).enumerate() {
+        println!("{i:>5} {a:>14.6} {b:>14.6}");
+        assert_eq!(a, b, "trajectory diverged at step {i}");
+    }
+    for (a, b) in grown.final_params.iter().zip(&resumed.final_params) {
+        assert_eq!(a.data(), b.data(), "final params must match exactly");
     }
     println!();
-    println!("Resumed training is bit-identical to the uninterrupted run.");
+    println!("Both 3 -> 4 grow paths are bit-identical from durable v{version}.");
 }

@@ -4,6 +4,7 @@
 //! integration tests can use a single dependency.
 
 pub use zero_infinity as zero;
+pub use zi_chaos as chaos;
 pub use zi_comm as comm;
 pub use zi_memory as memory;
 pub use zi_model as model;

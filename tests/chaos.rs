@@ -17,6 +17,11 @@
 //!   budget shrinks the world by one, re-partitions optimizer state from
 //!   the last durable checkpoint and trains to completion with the same
 //!   trajectory as a fresh session resumed from that checkpoint.
+//! * **World grow & composed chaos** — a replacement rank joining after
+//!   a kill grows the world back without spending recovery budget, and
+//!   a [`zi_chaos::ChaosPlan`] composes device deaths, rank kills,
+//!   joins, delays and corruption on one deterministic, seed-replayable
+//!   timeline whose event log must accept the session's outcome.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -280,7 +285,7 @@ mod elasticity {
         decode_checkpoint_payload, encode_checkpoint_payload, reshard_checkpoint_blobs,
         train_gpt_env, TrainEnv,
     };
-    use zi_comm::{CommFaultPlan, CommFaultProfile};
+    use zi_comm::CommFaultPlan;
     use zi_nvme::CheckpointStore;
 
     fn elastic_spec(world: usize) -> TrainSpec {
@@ -407,54 +412,282 @@ mod elasticity {
         }
     }
 
-    /// Elevated-rate soak for the CI chaos stage (`scripts/ci.sh` runs
-    /// this under a hard wall-clock timeout): probabilistic rank deaths
-    /// and entry delays on the collectives plus transient faults on the
-    /// offload device. The invariant is *bounded, typed failure*: the
-    /// session either completes with a consistent elastic history or
-    /// surfaces a classified error — it never hangs and never panics.
-    #[test]
-    #[ignore = "elevated-rate soak; run via the scripts/ci.sh chaos stage"]
-    fn chaos_soak_rank_deaths_stay_typed_and_bounded() {
-        let mut spec = elastic_spec(4);
-        spec.steps = 8;
-        spec.checkpoint_every = 1;
-        spec.max_recoveries = 3;
-        spec.collective_deadline = Duration::from_secs(5);
+}
 
-        let comm_profile = CommFaultProfile {
-            rank_death: 0.002,
-            delay: 0.05,
-            spike: Duration::from_micros(200),
-            ..CommFaultProfile::quiet(0x5eed_cafe)
-        };
-        let storage_profile = FaultProfile {
-            read_fault: 0.03,
-            write_fault: 0.03,
-            torn_write: 0.02,
-            latency_spike: 0.01,
-            spike: Duration::from_micros(100),
-            ..FaultProfile::quiet(0x0dd_ba11)
-        };
-        let backend = Arc::new(FaultyBackend::new(
-            MemBackend::new(),
-            FaultPlan::probabilistic(storage_profile),
-        ));
+mod orchestrator {
+    use super::*;
+    use zero_infinity::{train_gpt_env, TrainEnv, TrainOutcome};
+    use zi_chaos::{
+        check_outcome, ChaosConfig, ChaosEvent, ChaosPlan, FiredEvent, SessionSummary,
+    };
+    use zi_nvme::CheckpointStore;
+
+    /// Eight steps with durable checkpoints at versions 3 and 6: a kill
+    /// armed at step 4 lands past the v3 save and before the v6 one, so
+    /// the elastic transitions below always reshard version 3.
+    fn grow_spec() -> TrainSpec {
+        let cfg = GptConfig { vocab: 16, hidden: 8, layers: 2, heads: 2, seq: 4, seed: 47 };
+        let mut spec =
+            TrainSpec::test_default(cfg, Strategy::infinity_nvme().with_f32_params(), 4);
+        spec.steps = 8;
+        spec.checkpoint_every = 3;
+        spec.max_recoveries = 1;
+        spec.collective_deadline = Duration::from_secs(10);
+        spec
+    }
+
+    /// Wire one [`ChaosPlan`] into every plane the trainer exposes: its
+    /// storage fault plan under the offload backend, its comm fault plan
+    /// into the collectives, and the plan itself as the step-indexed
+    /// event source.
+    fn chaos_env(plan: &ChaosPlan) -> TrainEnv {
+        let backend = Arc::new(FaultyBackend::new(MemBackend::new(), plan.storage_plan()));
         let mut env = TrainEnv::new(backend);
         env.policy = chaos_policy();
-        env.comm_faults = CommFaultPlan::probabilistic(comm_profile);
+        env.comm_faults = plan.comm_plan();
+        env.chaos = Some(plan.clone());
+        env
+    }
+
+    fn summarize(spec: &TrainSpec, out: &TrainOutcome) -> SessionSummary {
+        SessionSummary {
+            initial_world: spec.world,
+            final_world: out.final_world,
+            recoveries: out.recoveries,
+            elastic: out.elastic.iter().map(|e| (e.from_world, e.to_world)).collect(),
+            completed: out.losses.len() == spec.steps,
+        }
+    }
+
+    /// The world-grow contract end to end: one of four ranks is killed
+    /// mid-run (shrink to 3, resharding the last durable checkpoint),
+    /// then a replacement joins one step later (grow back to 4,
+    /// resharding the *same* durable version — the 3-rank attempt never
+    /// reached its next checkpoint). The grow consumes no recovery
+    /// budget, and the final trajectory is bit-for-bit the uninterrupted
+    /// 4-rank run's.
+    #[test]
+    fn rank_death_then_rejoin_grows_back_and_matches_uninterrupted_run() {
+        let spec = grow_spec(); // max_recoveries = 1: the grow must be free
+        let reference = train_gpt(&spec).expect("uninterrupted 4-rank run");
+
+        let plan = ChaosPlan::new();
+        plan.schedule(4, ChaosEvent::RankKill { rank: 2 });
+        plan.schedule(5, ChaosEvent::RankJoin { ranks: 1 });
+        let out = train_gpt_env(&spec, chaos_env(&plan)).expect("elastic grow run");
+
+        assert_eq!(out.recoveries, 1, "the kill spends the only budget; the grow is free");
+        assert_eq!(out.final_world, 4, "the joiner must be folded back in");
+        assert_eq!(out.elastic.len(), 2, "exactly one shrink and one grow: {:?}", out.elastic);
+        let shrink = &out.elastic[0];
+        assert_eq!((shrink.from_world, shrink.to_world), (4, 3));
+        assert_eq!(shrink.failed_rank, Some(2), "the shrink must blame the victim");
+        assert_eq!(shrink.resumed_from_step, Some(3), "v3 is durable at the kill");
+        let grow = &out.elastic[1];
+        assert_eq!((grow.from_world, grow.to_world), (3, 4));
+        assert_eq!(grow.failed_rank, None, "nothing fails on a grow");
+        assert_eq!(
+            grow.resumed_from_step,
+            Some(3),
+            "the grow reshards the same durable version the shrink used"
+        );
+        assert_eq!(out.losses, reference.losses, "grow-back must be numerically invisible");
+        for (a, b) in reference.final_params.iter().zip(&out.final_params) {
+            assert_eq!(a.data(), b.data(), "final params must match the uninterrupted run");
+        }
+        check_outcome(&plan.log(), &summarize(&spec, &out))
+            .expect("outcome must be consistent with the armed schedule");
+    }
+
+    /// A composed schedule across all three fault planes in one session:
+    /// silent read corruption, a permanent device death, a collective
+    /// delay burst, a rank kill and a replacement join. The session
+    /// absorbs the lot — corruption via CRC re-reads, the dead device
+    /// via degraded CPU placement (at most one restart), the kill via an
+    /// elastic shrink and the join via a free grow — and the event log
+    /// accepts the outcome.
+    #[test]
+    fn composed_schedule_across_all_fault_planes_completes_consistently() {
+        let mut spec = grow_spec();
+        spec.max_recoveries = 2; // the kill, plus at most one device restart
+        let plan = ChaosPlan::new();
+        plan.schedule(1, ChaosEvent::Corruption { reads: 2 });
+        plan.schedule(2, ChaosEvent::DeviceFail);
+        plan.schedule(3, ChaosEvent::CommDelay { rank: 1, ops: 2, micros: 100 });
+        plan.schedule(4, ChaosEvent::RankKill { rank: 2 });
+        plan.schedule(5, ChaosEvent::RankJoin { ranks: 1 });
+        let out = train_gpt_env(&spec, chaos_env(&plan)).expect("composed run completes");
+
+        assert_eq!(out.losses.len(), spec.steps);
+        assert!(out.degraded, "the dead device must leave the session degraded");
+        assert!(
+            (1..=2).contains(&out.recoveries),
+            "the kill costs one recovery, the device death at most one more: {}",
+            out.recoveries
+        );
+        let transitions: Vec<_> =
+            out.elastic.iter().map(|e| (e.from_world, e.to_world)).collect();
+        assert_eq!(transitions, vec![(4, 3), (3, 4)], "shrink on the kill, grow on the join");
+        assert_eq!(out.final_world, 4);
+        // Health counters are per-attempt (the final node may be fully
+        // CPU-degraded with no NVMe reads at all), so corruption is
+        // checked at the plan: the flips fired, and whatever attempt saw
+        // them left nothing unrecovered.
+        assert!(
+            plan.storage_plan().injected().bitflips >= 1,
+            "the corruption burst must fire before the device dies: {:?}",
+            plan.storage_plan().injected()
+        );
+        assert_eq!(out.health.corruptions_unrecovered, 0);
+        assert_eq!(plan.comm_plan().injected().rank_deaths, 1, "the scripted kill fired");
+        assert!(plan.comm_plan().injected().delays >= 1, "the delay burst fired");
+        assert_eq!(plan.log().len(), 5, "every scheduled event armed");
+        check_outcome(&plan.log(), &summarize(&spec, &out))
+            .expect("outcome must be consistent with the armed schedule");
+    }
+
+    /// A device death and a rank kill armed in the *same* step window.
+    /// Which plane surfaces first is genuinely racy (the storage error
+    /// may preempt the shrink or vice versa), so this pins the invariant
+    /// class only: bounded typed recovery, a world no smaller than the
+    /// kills allow, and an outcome the event log accepts.
+    #[test]
+    fn device_death_and_rank_kill_in_same_window_stay_bounded() {
+        let mut spec = grow_spec();
+        spec.max_recoveries = 2;
+        let plan = ChaosPlan::new();
+        plan.schedule(3, ChaosEvent::DeviceFail);
+        plan.schedule(3, ChaosEvent::RankKill { rank: 1 });
+        let out = train_gpt_env(&spec, chaos_env(&plan)).expect("combined-window run");
+
+        assert_eq!(out.losses.len(), spec.steps);
+        assert!(out.degraded, "the device really died");
+        assert!(
+            (1..=2).contains(&out.recoveries),
+            "two disruptions, at most two recoveries: {}",
+            out.recoveries
+        );
+        assert!(
+            matches!(out.final_world, 3 | 4),
+            "one kill shrinks by at most one rank: {}",
+            out.final_world
+        );
+        check_outcome(&plan.log(), &summarize(&spec, &out))
+            .expect("outcome must be consistent with the armed schedule");
+    }
+
+    /// One seed, two sessions: the schedule, the fired event sequence
+    /// and the loss trajectory all replay identically — the property the
+    /// soak below leans on when it prints `ZI_CHAOS_SEED` on failure.
+    #[test]
+    fn seeded_chaos_replays_identical_event_sequence_end_to_end() {
+        let config = ChaosConfig {
+            steps: 8,
+            world: 4,
+            device_fail: 0.0, // keep both runs completing for the comparison
+            rank_kill: 0.25,
+            rank_join: 0.25,
+            comm_delay: 0.3,
+            corruption: 0.15,
+            max_kills: 1,
+            max_joins: 1,
+        };
+        let seed = 0x0be5_7a11u64;
+        let run = || {
+            let plan = ChaosPlan::seeded(seed, &config);
+            let mut spec = grow_spec();
+            spec.checkpoint_every = 2;
+            spec.max_recoveries = 3;
+            // Slots for the largest world the schedule may grow to.
+            let store = CheckpointStore::new(
+                Arc::new(MemBackend::new()),
+                config.world + config.max_joins,
+                2,
+            )
+            .unwrap();
+            let mut env = chaos_env(&plan);
+            env.store = Some(store);
+            let out = train_gpt_env(&spec, env).expect("seeded run completes");
+            (plan.events(), plan.log(), summarize(&spec, &out), out.losses)
+        };
+        let (events_a, log_a, summary_a, losses_a) = run();
+        let (events_b, log_b, summary_b, losses_b) = run();
+
+        assert!(!events_a.is_empty(), "this seed must generate a schedule");
+        assert_eq!(events_a, events_b, "the schedule is a pure function of the seed");
+        let identities =
+            |log: &[FiredEvent]| log.iter().map(|f| (f.step, f.event)).collect::<Vec<_>>();
+        assert_eq!(
+            identities(&log_a),
+            identities(&log_b),
+            "the fired sequence must replay identically"
+        );
+        check_outcome(&log_a, &summary_a).expect("first run consistent");
+        check_outcome(&log_b, &summary_b).expect("second run consistent");
+        assert_eq!(losses_a, losses_b, "same seed, same trajectory");
+    }
+
+    /// Elevated-rate soak for the CI chaos stage (`scripts/ci.sh` runs
+    /// this under a hard wall-clock timeout): a full composed schedule —
+    /// device death, rank kills, joins, delay bursts, read corruption —
+    /// generated from `ZI_CHAOS_SEED` (decimal or 0x-hex; defaulted
+    /// here). The invariant is *bounded, typed failure*: the session
+    /// either completes with an outcome its own event log accepts, or
+    /// surfaces a classified error — never a hang, never a panic. Every
+    /// assertion prints the seed, so any finding replays exactly.
+    #[test]
+    #[ignore = "elevated-rate soak; run via the scripts/ci.sh chaos stage"]
+    fn chaos_soak_composed_schedules_stay_typed_and_bounded() {
+        let seed = ChaosPlan::seed_from_env(0x5eed_cafe);
+        let config = ChaosConfig {
+            steps: 8,
+            world: 4,
+            device_fail: 0.08,
+            rank_kill: 0.18,
+            rank_join: 0.18,
+            comm_delay: 0.25,
+            corruption: 0.12,
+            max_kills: 2,
+            max_joins: 2,
+        };
+        let plan = ChaosPlan::seeded(seed, &config);
+
+        let mut spec = grow_spec();
+        spec.checkpoint_every = 1;
+        spec.max_recoveries = 4;
+        spec.collective_deadline = Duration::from_secs(5);
+        // Provision the durable store for the largest world the schedule
+        // may grow to, so no generated join can strand the session on
+        // `IncompatibleWorld`.
+        let store = CheckpointStore::new(
+            Arc::new(MemBackend::new()),
+            config.world + config.max_joins,
+            2,
+        )
+        .unwrap();
+        let mut env = chaos_env(&plan);
+        env.store = Some(store);
+
         match train_gpt_env(&spec, env) {
             Ok(out) => {
-                assert_eq!(out.losses.len(), spec.steps);
-                assert_eq!(out.final_world, spec.world - out.elastic.len());
-                for pair in out.elastic.windows(2) {
-                    assert_eq!(pair[0].to_world, pair[1].from_world);
+                assert_eq!(
+                    out.losses.len(),
+                    spec.steps,
+                    "truncated trajectory; replay with ZI_CHAOS_SEED={seed:#018x}"
+                );
+                if let Err(finding) = check_outcome(&plan.log(), &summarize(&spec, &out)) {
+                    panic!(
+                        "outcome inconsistent with the armed schedule: {finding}\n\
+                         log: {:?}\nreplay with ZI_CHAOS_SEED={seed:#018x}",
+                        plan.log()
+                    );
                 }
             }
             Err(e) => {
                 assert!(
-                    e.is_rank_failure() || e.is_device_failure(),
-                    "soak must fail with a classified error, got {e}"
+                    e.is_rank_failure() || e.is_device_failure() || e.is_membership_change(),
+                    "soak must fail with a classified error, got {e}; \
+                     replay with ZI_CHAOS_SEED={seed:#018x}"
                 );
             }
         }
