@@ -80,7 +80,7 @@ impl std::fmt::Debug for KnobCell {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use zi_sync::Arc;
 
     fn knobs(d: usize) -> Knobs {
         Knobs { step_pipeline_depth: d, prefetch_window: 2 * d, write_behind: 3 * d }

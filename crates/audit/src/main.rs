@@ -1,0 +1,120 @@
+//! The `zi-audit` binary: walk the workspace, run the rule passes,
+//! apply `audit.allow`, print human + JSON findings, exit nonzero on
+//! any unallowlisted violation.
+//!
+//! ```text
+//! zi-audit [--root DIR] [--allow FILE] [--json FILE] [--quiet]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use zi_audit::allow::Allowlist;
+use zi_audit::{analyze, collect_sources, report};
+
+struct Args {
+    root: PathBuf,
+    allow: Option<PathBuf>,
+    json: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        allow: None,
+        json: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?)
+            }
+            "--allow" => {
+                args.allow = Some(PathBuf::from(it.next().ok_or("--allow needs a file")?))
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(it.next().ok_or("--json needs a file")?))
+            }
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => {
+                return Err("usage: zi-audit [--root DIR] [--allow FILE] [--json FILE] [--quiet]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let allow_path = args.allow.clone().unwrap_or_else(|| args.root.join("audit.allow"));
+    let allowlist = if allow_path.is_file() {
+        match std::fs::read_to_string(&allow_path) {
+            Ok(text) => match Allowlist::parse(&text) {
+                Ok(list) => list,
+                Err(e) => {
+                    eprintln!("zi-audit: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("zi-audit: cannot read {}: {e}", allow_path.display());
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        Allowlist::default()
+    };
+
+    let sources = match collect_sources(&args.root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("zi-audit: walking {} failed: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if sources.is_empty() {
+        eprintln!(
+            "zi-audit: no .rs files under {} (expected crates/, src/, tests/, examples/)",
+            args.root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let analysis = analyze(&sources);
+    let outcome = allowlist.apply(analysis.findings.clone());
+
+    if let Some(json_path) = &args.json {
+        let doc = report::to_json(&analysis, &outcome);
+        if let Err(e) = std::fs::write(json_path, doc) {
+            eprintln!("zi-audit: writing {} failed: {e}", json_path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !args.quiet {
+        print!("{}", report::to_human(&analysis, &outcome));
+    } else {
+        for e in &outcome.unused {
+            eprintln!("{}", report::unused_entry_line(e));
+        }
+    }
+
+    if outcome.kept.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,468 @@
+//! Fixture corpus for the four audit rules.
+//!
+//! Every *must-flag* fixture is checked to trip **exactly** its own
+//! rule (and no other), and every *clean* fixture is checked to pass
+//! all four rules, via the same [`zi_audit::analyze_strs`] entry point
+//! the `zi-audit` binary uses. A final set exercises the allowlist:
+//! suppression, `token=` narrowing, unused-entry reporting, and the
+//! mandatory-justification parse error.
+
+use zi_audit::allow::Allowlist;
+use zi_audit::rules::RuleId;
+use zi_audit::{analyze_strs, Analysis};
+
+/// Rules that fired, deduplicated, in enum order.
+fn fired(analysis: &Analysis) -> Vec<RuleId> {
+    let mut rules: Vec<RuleId> = analysis.findings.iter().map(|f| f.rule).collect();
+    rules.sort();
+    rules.dedup();
+    rules
+}
+
+/// Assert the fixture trips `rule` and nothing else.
+fn assert_flags_exactly(path: &str, src: &str, rule: RuleId) {
+    let analysis = analyze_strs(&[(path, src)]);
+    assert_eq!(
+        fired(&analysis),
+        vec![rule],
+        "fixture {path} should trip exactly {:?}; findings: {:#?}",
+        rule,
+        analysis.findings
+    );
+}
+
+/// Assert the fixture passes every rule.
+fn assert_clean(path: &str, src: &str) {
+    let analysis = analyze_strs(&[(path, src)]);
+    assert!(
+        analysis.findings.is_empty(),
+        "fixture {path} should be clean; findings: {:#?}",
+        analysis.findings
+    );
+    assert!(analysis.lock_graph.cycles.is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: sync-hygiene
+
+#[test]
+fn sync_hygiene_flags_std_sync_import() {
+    assert_flags_exactly(
+        "crates/demo/src/lib.rs",
+        "use std::sync::Mutex;\npub fn f() {}\n",
+        RuleId::SyncHygiene,
+    );
+}
+
+#[test]
+fn sync_hygiene_flags_parking_lot_and_crossbeam() {
+    assert_flags_exactly(
+        "crates/demo/src/lib.rs",
+        "use parking_lot::RwLock;\npub fn f() {}\n",
+        RuleId::SyncHygiene,
+    );
+    assert_flags_exactly(
+        "crates/demo/src/lib.rs",
+        "use crossbeam::channel::unbounded;\npub fn f() {}\n",
+        RuleId::SyncHygiene,
+    );
+}
+
+#[test]
+fn sync_hygiene_flags_qualified_thread_spawn_and_instant() {
+    assert_flags_exactly(
+        "tests/demo.rs",
+        "fn main() { let _h = std::thread::spawn(|| ()); }\n",
+        RuleId::SyncHygiene,
+    );
+    assert_flags_exactly(
+        "tests/demo.rs",
+        "fn main() { let _t = std::time::Instant::now(); }\n",
+        RuleId::SyncHygiene,
+    );
+}
+
+#[test]
+fn sync_hygiene_exempts_crates_sync_and_zi_check_shims() {
+    // The wall's own implementation is the one place std primitives live.
+    assert_clean("crates/sync/src/lib.rs", "pub use std::sync::Mutex;\n");
+    // #[cfg(zi_check)] shims wrap std primitives for the model checker.
+    assert_clean(
+        "crates/demo/src/lib.rs",
+        "#[cfg(zi_check)]\nmod shim {\n    pub use std::sync::atomic::AtomicU64;\n}\n",
+    );
+}
+
+#[test]
+fn sync_hygiene_allows_duration_and_zi_sync() {
+    // Duration is plain data; only the monotonic clock is walled off.
+    assert_clean(
+        "crates/demo/src/lib.rs",
+        "use std::time::Duration;\nuse zi_sync::{Arc, Mutex};\npub fn f() {}\n",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: lock-order
+
+/// Two functions acquiring two named locks in opposite orders: the
+/// classic ABBA deadlock, visible statically as a 2-cycle.
+#[test]
+fn lock_order_flags_abba_cycle() {
+    let src = r#"
+use zi_sync::{Arc, Mutex};
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u32 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *ga + *gb
+    }
+}
+"#;
+    let analysis = analyze_strs(&[("crates/demo/src/lib.rs", src)]);
+    assert_eq!(fired(&analysis), vec![RuleId::LockOrder], "{:#?}", analysis.findings);
+    assert!(!analysis.lock_graph.cycles.is_empty(), "ABBA must surface as a cycle");
+    let cycle = &analysis.lock_graph.cycles[0];
+    assert!(cycle.iter().any(|n| n.ends_with("Pair.a")), "cycle {cycle:?}");
+    assert!(cycle.iter().any(|n| n.ends_with("Pair.b")), "cycle {cycle:?}");
+}
+
+/// The same ABBA shape, but the second acquisition hides behind a call:
+/// `forward` holds `a` and calls `helper`, which takes `b`; `backward`
+/// holds `b` and takes `a` directly. Requires the interprocedural
+/// may-acquire propagation to see the cycle.
+#[test]
+fn lock_order_flags_interprocedural_cycle() {
+    let src = r#"
+use zi_sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let ga = self.a.lock();
+        *ga + self.helper()
+    }
+
+    fn helper(&self) -> u32 {
+        *self.b.lock()
+    }
+
+    pub fn backward(&self) -> u32 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *ga + *gb
+    }
+}
+"#;
+    let analysis = analyze_strs(&[("crates/demo/src/lib.rs", src)]);
+    assert_eq!(fired(&analysis), vec![RuleId::LockOrder], "{:#?}", analysis.findings);
+    assert!(
+        !analysis.lock_graph.cycles.is_empty(),
+        "interprocedural ABBA must surface as a cycle; edges: {:#?}",
+        analysis.lock_graph.edges
+    );
+}
+
+/// Consistent ordering produces edges but no cycle — and must not flag.
+#[test]
+fn lock_order_consistent_ordering_is_clean() {
+    let src = r#"
+use zi_sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn one(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    pub fn two(&self) -> u32 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga * *gb
+    }
+}
+"#;
+    let analysis = analyze_strs(&[("crates/demo/src/lib.rs", src)]);
+    assert!(analysis.findings.is_empty(), "{:#?}", analysis.findings);
+    assert!(!analysis.lock_graph.edges.is_empty(), "a→b edge should exist");
+    assert!(analysis.lock_graph.cycles.is_empty());
+}
+
+/// A statement-temporary guard (`self.a.lock().method()`) dies at the
+/// `;`, so a later acquisition is NOT hold-while-acquiring.
+#[test]
+fn lock_order_temporary_guard_does_not_hold() {
+    let src = r#"
+use zi_sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<Vec<u32>>,
+    b: Mutex<Vec<u32>>,
+}
+
+impl Pair {
+    pub fn one(&self) {
+        self.a.lock().push(1);
+        self.b.lock().push(2);
+    }
+
+    pub fn two(&self) {
+        self.b.lock().push(3);
+        self.a.lock().push(4);
+    }
+}
+"#;
+    let analysis = analyze_strs(&[("crates/demo/src/lib.rs", src)]);
+    assert!(analysis.findings.is_empty(), "{:#?}", analysis.findings);
+    assert!(analysis.lock_graph.edges.is_empty(), "{:#?}", analysis.lock_graph.edges);
+}
+
+/// An explicit `drop(guard)` releases the hold before the next lock.
+#[test]
+fn lock_order_drop_releases_hold() {
+    let src = r#"
+use zi_sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn one(&self) -> u32 {
+        let ga = self.a.lock();
+        let va = *ga;
+        drop(ga);
+        va + *self.b.lock()
+    }
+
+    pub fn two(&self) -> u32 {
+        let gb = self.b.lock();
+        let vb = *gb;
+        drop(gb);
+        vb + *self.a.lock()
+    }
+}
+"#;
+    let analysis = analyze_strs(&[("crates/demo/src/lib.rs", src)]);
+    assert!(analysis.findings.is_empty(), "{:#?}", analysis.findings);
+    assert!(analysis.lock_graph.edges.is_empty(), "{:#?}", analysis.lock_graph.edges);
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: unsafe-safety
+
+#[test]
+fn unsafe_safety_flags_undocumented_block() {
+    assert_flags_exactly(
+        "crates/demo/src/lib.rs",
+        "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+        RuleId::UnsafeSafety,
+    );
+}
+
+#[test]
+fn unsafe_safety_flags_undocumented_impl_and_fn() {
+    assert_flags_exactly(
+        "crates/demo/src/lib.rs",
+        "pub struct P(*mut u8);\nunsafe impl Send for P {}\n",
+        RuleId::UnsafeSafety,
+    );
+    assert_flags_exactly(
+        "crates/demo/src/lib.rs",
+        "pub unsafe fn f(p: *const u8) -> u8 {\n    *p\n}\n",
+        RuleId::UnsafeSafety,
+    );
+}
+
+#[test]
+fn unsafe_safety_accepts_safety_comment() {
+    assert_clean(
+        "crates/demo/src/lib.rs",
+        "pub fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n",
+    );
+    // A `# Safety` doc section above an unsafe fn also counts.
+    assert_clean(
+        "crates/demo/src/lib.rs",
+        "/// Reads a byte.\n///\n/// # Safety\n///\n/// `p` must be valid.\npub unsafe fn f(p: *const u8) -> u8 {\n    p.read()\n}\n",
+    );
+    // Comments may sit above attributes.
+    assert_clean(
+        "crates/demo/src/lib.rs",
+        "// SAFETY: requires AVX2; checked at dispatch.\n#[cfg(target_arch = \"x86_64\")]\npub unsafe fn f() {}\n",
+    );
+}
+
+#[test]
+fn unsafe_safety_builds_inventory() {
+    let analysis = analyze_strs(&[(
+        "crates/demo/src/lib.rs",
+        "pub fn f(p: *const u8) -> u8 {\n    // SAFETY: fine.\n    unsafe { *p }\n}\npub struct P(*mut u8);\n// SAFETY: fine.\nunsafe impl Send for P {}\n",
+    )]);
+    let inv = &analysis.unsafe_inventory["demo"];
+    assert_eq!(inv.total, 2);
+    assert_eq!(inv.documented, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: panic-path
+
+#[test]
+fn panic_path_flags_unwrap_in_library_code() {
+    assert_flags_exactly(
+        "crates/demo/src/lib.rs",
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+        RuleId::PanicPath,
+    );
+}
+
+#[test]
+fn panic_path_flags_expect_and_panic_macros() {
+    assert_flags_exactly(
+        "crates/demo/src/lib.rs",
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.expect(\"present\")\n}\n",
+        RuleId::PanicPath,
+    );
+    assert_flags_exactly(
+        "crates/demo/src/lib.rs",
+        "pub fn f() {\n    panic!(\"boom\");\n}\n",
+        RuleId::PanicPath,
+    );
+    assert_flags_exactly(
+        "crates/demo/src/lib.rs",
+        "pub fn f() {\n    todo!()\n}\n",
+        RuleId::PanicPath,
+    );
+}
+
+#[test]
+fn panic_path_exempts_tests_and_non_library_code() {
+    // #[test] fns may unwrap freely.
+    assert_clean(
+        "crates/demo/src/lib.rs",
+        "#[test]\nfn t() {\n    Some(1).unwrap();\n}\n",
+    );
+    // #[cfg(test)] modules too.
+    assert_clean(
+        "crates/demo/src/lib.rs",
+        "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1).unwrap();\n    }\n}\n",
+    );
+    // Integration tests and binaries are out of scope for this rule.
+    assert_clean("tests/demo.rs", "fn main() {\n    Some(1).unwrap();\n}\n");
+    assert_clean(
+        "crates/demo/src/bin/tool.rs",
+        "fn main() {\n    Some(1).unwrap();\n}\n",
+    );
+}
+
+#[test]
+fn panic_path_ignores_non_method_identifiers() {
+    // A local fn *named* unwrap, called in non-method position, is fine.
+    assert_clean(
+        "crates/demo/src/lib.rs",
+        "fn unwrap() -> u32 { 7 }\npub fn f() -> u32 {\n    unwrap()\n}\n",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Allowlist behaviour
+
+#[test]
+fn allowlist_suppresses_matching_findings() {
+    let analysis = analyze_strs(&[(
+        "crates/demo/src/lib.rs",
+        "use std::sync::Mutex;\npub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    )]);
+    assert_eq!(analysis.findings.len(), 2);
+    let allow = Allowlist::parse(
+        "sync-hygiene crates/demo/** -- demo crate predates the wall\n\
+         panic-path crates/demo/src/lib.rs token=unwrap -- invariant: x is Some by construction\n",
+    )
+    .expect("valid allowlist");
+    let outcome = allow.apply(analysis.findings);
+    assert!(outcome.kept.is_empty(), "{:#?}", outcome.kept);
+    assert_eq!(outcome.suppressed, 2);
+    assert!(outcome.unused.is_empty());
+}
+
+#[test]
+fn allowlist_token_narrows_suppression() {
+    let analysis = analyze_strs(&[(
+        "crates/demo/src/lib.rs",
+        "pub fn f(x: Option<u32>, y: Option<u32>) -> u32 {\n    x.unwrap() + y.expect(\"y\")\n}\n",
+    )]);
+    assert_eq!(analysis.findings.len(), 2);
+    let allow =
+        Allowlist::parse("panic-path crates/demo/** token=unwrap -- only unwrap is vetted\n")
+            .expect("valid allowlist");
+    let outcome = allow.apply(analysis.findings);
+    assert_eq!(outcome.suppressed, 1);
+    assert_eq!(outcome.kept.len(), 1, "expect( must still fail: {:#?}", outcome.kept);
+    assert!(outcome.kept[0].symbol.contains("expect"));
+}
+
+#[test]
+fn allowlist_reports_unused_entries() {
+    let analysis = analyze_strs(&[("crates/demo/src/lib.rs", "pub fn f() {}\n")]);
+    let allow = Allowlist::parse("lock-order crates/gone/** -- stale exception\n")
+        .expect("valid allowlist");
+    let outcome = allow.apply(analysis.findings);
+    assert_eq!(outcome.unused.len(), 1);
+    assert_eq!(outcome.unused[0].glob, "crates/gone/**");
+}
+
+#[test]
+fn allowlist_requires_justification() {
+    let err = Allowlist::parse("panic-path crates/demo/**\n").unwrap_err();
+    assert!(err.message.contains("justification"), "{err}");
+    let err = Allowlist::parse("panic-path crates/demo/** -- \n").unwrap_err();
+    assert!(err.message.contains("justification"), "{err}");
+}
+
+#[test]
+fn allowlist_rejects_unknown_rules_and_fields() {
+    assert!(Allowlist::parse("no-such-rule crates/** -- x\n").is_err());
+    assert!(Allowlist::parse("panic-path crates/** stray -- x\n").is_err());
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end sanity: a clean multi-file mini-workspace
+
+#[test]
+fn clean_mini_workspace_passes_all_rules() {
+    let analysis = analyze_strs(&[
+        (
+            "crates/a/src/lib.rs",
+            "use zi_sync::{Arc, Mutex};\n\npub struct S {\n    inner: Mutex<u32>,\n}\n\nimpl S {\n    pub fn get(self: &Arc<Self>) -> u32 {\n        *self.inner.lock()\n    }\n}\n",
+        ),
+        (
+            "crates/b/src/lib.rs",
+            "pub fn double(x: u32) -> Option<u32> {\n    x.checked_mul(2)\n}\n",
+        ),
+    ]);
+    assert!(analysis.findings.is_empty(), "{:#?}", analysis.findings);
+    assert_eq!(analysis.files_scanned, 2);
+    assert!(analysis.lock_graph.cycles.is_empty());
+}

@@ -12,7 +12,7 @@
 //! the whole parameter from the shared in-memory NVMe device, while the
 //! allgather path reads only 1/dp per rank, in parallel.
 
-use std::sync::Arc;
+use zi_sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use zi_comm::CommGroup;
@@ -25,7 +25,7 @@ fn run_world(world: usize, broadcast: bool, eng: &Arc<NvmeEngine>) {
     let mut handles = Vec::new();
     for (rank, comm) in group.communicators().into_iter().enumerate() {
         let eng = Arc::clone(eng);
-        handles.push(std::thread::spawn(move || {
+        handles.push(zi_sync::thread::spawn(move || {
             if broadcast {
                 // Rank 0 reads the full parameter from slow memory, then
                 // broadcasts.
@@ -89,7 +89,7 @@ fn bench_collectives(c: &mut Criterion) {
             let g = CommGroup::new(4);
             let mut handles = Vec::new();
             for comm in g.communicators() {
-                handles.push(std::thread::spawn(move || {
+                handles.push(zi_sync::thread::spawn(move || {
                     let data = vec![1.0f32; n];
                     criterion::black_box(comm.reduce_scatter_sum(&data).unwrap().len());
                 }));
@@ -104,7 +104,7 @@ fn bench_collectives(c: &mut Criterion) {
             let g = CommGroup::new(4);
             let mut handles = Vec::new();
             for comm in g.communicators() {
-                handles.push(std::thread::spawn(move || {
+                handles.push(zi_sync::thread::spawn(move || {
                     let mut data = vec![1.0f32; n];
                     comm.allreduce_sum(&mut data).unwrap();
                     criterion::black_box(data[0]);

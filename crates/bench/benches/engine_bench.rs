@@ -12,7 +12,7 @@
 //!   optimizer step at different pipeline depths over a file-backed
 //!   device.
 
-use std::sync::Arc;
+use zi_sync::Arc;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

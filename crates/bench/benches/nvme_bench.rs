@@ -5,7 +5,7 @@
 //! parallelization of I/O requests" claim — and the cost of the flush
 //! barrier.
 
-use std::sync::Arc;
+use zi_sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use zi_nvme::{FileBackend, NvmeEngine, StorageBackend};

@@ -16,7 +16,7 @@
 //! argv[1]; `--quick` bounds the run for CI).
 
 use std::path::PathBuf;
-use std::sync::Arc;
+use zi_sync::Arc;
 use std::time::{Duration, Instant};
 
 use zero_infinity::trainer::synthetic_batch;

@@ -18,7 +18,7 @@
 //! end-to-end step got *slower* than forced-scalar — catching dispatch
 //! regressions, not noise: the gate uses medians and a 10% grace.
 
-use std::time::Instant;
+use zi_sync::time::Instant;
 
 use zero_infinity::Strategy;
 use zi_bench::report::{hrow, row, section, write_json_report, Json};

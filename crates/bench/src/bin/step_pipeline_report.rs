@@ -11,7 +11,7 @@
 //! machine-readable `BENCH_step_pipeline.json` (path overridable as
 //! argv[1]).
 
-use std::sync::Arc;
+use zi_sync::Arc;
 use std::time::{Duration, Instant};
 
 use zero_infinity::{NodeResources, Strategy, ZeroEngine};

@@ -15,7 +15,7 @@
 //! produces an empty report or the exported trace fails validation.
 
 use std::process::ExitCode;
-use std::sync::Arc;
+use zi_sync::Arc;
 use std::time::Duration;
 
 use zero_infinity::{train_gpt_env, Strategy, TrainEnv, TrainSpec};

@@ -26,7 +26,7 @@
 //! interleaving; the outcome checks are therefore inequalities over
 //! counts, not exact traces.
 
-use std::sync::Arc;
+use zi_sync::Arc;
 use std::time::Duration;
 
 use zi_comm::{CommFaultPlan, Membership};

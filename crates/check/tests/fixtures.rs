@@ -5,7 +5,7 @@
 //! fixtures would really deadlock, so the whole file is gated.
 #![cfg(zi_check)]
 
-use std::sync::Arc;
+use zi_sync::Arc;
 
 use zi_check::{Checker, FailureKind};
 use zi_sync::atomic::{AtomicBool, AtomicU64, Ordering};

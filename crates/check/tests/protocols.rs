@@ -11,7 +11,7 @@
 //! passthrough build the same bodies run once on real primitives, so
 //! this file doubles as a plain concurrency smoke test.
 
-use std::sync::Arc;
+use zi_sync::Arc;
 use std::time::Duration;
 
 use zi_adapt::{KnobCell, Knobs};
@@ -401,6 +401,7 @@ fn kernel_pool_tiling_body() {
     {
         let base = zi_tensor::pool::SendPtr::new(out.as_mut_ptr());
         pool.run(3, &move |i| {
+            // SAFETY: same disjoint-index argument as job 1.
             unsafe { *base.get().add(i) += 10 };
         });
     }

@@ -28,7 +28,7 @@
 //! wedged-peer scenario the deadline exists for.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use zi_sync::Arc;
 use std::time::Duration;
 
 use zi_sync::Mutex;

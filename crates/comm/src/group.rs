@@ -30,7 +30,7 @@
 //! grows the world instead of shrinking it. A failure latched first wins:
 //! a broken group never reports a benign resize.
 
-use std::sync::Arc;
+use zi_sync::Arc;
 use std::time::Duration;
 
 use zi_sync::time::Instant;
@@ -550,13 +550,16 @@ fn corrupt_f32s(data: &mut [f32], salt: u64) {
     data[i] = f32::from_bits(data[i].to_bits() ^ (1 << (salt % 32)));
 }
 
-// Communicator handles move to their rank thread.
+// SAFETY: a `Communicator` is only ever *moved* to its rank thread and
+// used from there; the shared state it points at (`GroupShared`) is all
+// `Mutex`/`Condvar`/atomic-protected, so no unsynchronized access crosses
+// threads.
 unsafe impl Send for Communicator {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use zi_sync::atomic::{AtomicU64, Ordering};
     use zi_sync::thread;
 
     /// Run `f(rank, comm)` on one thread per rank of `group` and collect

@@ -29,7 +29,7 @@
 //! stays broken (shrink recovery runs first; the queued join folds into
 //! the generation after it).
 
-use std::sync::Arc;
+use zi_sync::Arc;
 
 use zi_sync::Mutex;
 
@@ -132,7 +132,7 @@ impl Membership {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use zi_sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn joins_queue_and_fold_into_next_generation() {

@@ -1,8 +1,8 @@
 //! Property tests: every collective must match a scalar reference
 //! implementation for arbitrary world sizes and payloads.
 
-use std::sync::Arc;
-use std::thread;
+use zi_sync::Arc;
+use zi_sync::thread;
 
 use proptest::prelude::*;
 use zi_comm::{partition_range, CommGroup};

@@ -1038,7 +1038,7 @@ mod tests {
         // queue; prefetch off so every in-flight request belongs to the
         // optimizer-step pipeline.
         let spec = NodeMemorySpec::test_spec(1, 1 << 22, 1 << 22, 1 << 22);
-        let backend = std::sync::Arc::new(ThrottledBackend::new(
+        let backend = zi_sync::Arc::new(ThrottledBackend::new(
             MemBackend::new(),
             2e9,
             Duration::from_millis(2),

@@ -9,8 +9,8 @@
 //! This module provides the [`zi_model::TensorReduce`] adapter over
 //! `zi-comm` and a 2-D trainer used by the composition tests.
 
-use std::sync::Arc;
-use std::thread;
+use zi_sync::Arc;
+use zi_sync::thread;
 
 use zi_comm::{CommGroup, Communicator};
 use zi_memory::NodeMemorySpec;

@@ -9,10 +9,10 @@
 //! the paper's pinned-memory management layer does (Sec. 6.3).
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use zi_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use zi_sync::Arc;
 
-use parking_lot::Mutex;
+use zi_sync::Mutex;
 use zi_comm::{CommConfig, CommGroup, Membership};
 use zi_memory::{Block, MemoryHierarchy, NodeMemorySpec, PinnedBufferPool};
 use zi_nvme::{checksum::crc32, FileBackend, MemBackend, NvmeEngine, RetryPolicy, StorageBackend, Ticket};

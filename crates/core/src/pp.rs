@@ -15,9 +15,9 @@
 //! weight downstream — the standard embedding-synchronization pattern of
 //! pipelined GPT training.
 
-use std::thread;
+use zi_sync::thread;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use zi_sync::channel::{bounded, Receiver, Sender};
 use zi_comm::partition_range;
 use zi_model::layers::{
     block_backward, block_forward, embedding_backward, embedding_forward, lm_head_backward,

@@ -321,7 +321,7 @@ mod tests {
 
     #[test]
     fn second_hint_coalesces_onto_the_inflight_load() {
-        use std::sync::Arc;
+        use zi_sync::Arc;
         use std::time::Duration;
         let spec = NodeMemorySpec::test_spec(1, 1 << 20, 1 << 20, 1 << 20);
         let plan = zi_nvme::FaultPlan::new();

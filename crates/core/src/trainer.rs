@@ -6,8 +6,8 @@
 //! dense single-process baseline when parameter storage is fp32) and by
 //! the examples/benches.
 
-use std::sync::Arc;
-use std::thread;
+use zi_sync::Arc;
+use zi_sync::thread;
 use std::time::Duration;
 
 use zi_adapt::{

@@ -8,7 +8,7 @@
 //! returned, never growing, with reuse statistics so benches can show the
 //! fragmentation-avoidance claim.
 
-use std::sync::Arc;
+use zi_sync::Arc;
 
 use zi_sync::{Condvar, Mutex};
 use zi_trace::{Counter, Tracer};

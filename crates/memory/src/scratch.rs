@@ -13,7 +13,7 @@
 //! to the working set of the pipeline (depth × buffers-per-chunk) and
 //! then reuses forever. Reuse is observable via [`ScratchPool::stats`].
 
-use std::sync::Arc;
+use zi_sync::Arc;
 
 use zi_sync::Mutex;
 

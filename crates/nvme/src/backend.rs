@@ -2,9 +2,9 @@
 
 use std::fs::{File, OpenOptions};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use zi_sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use zi_sync::RwLock;
 use zi_types::{Error, Result};
 
 /// A block device the engine can issue positioned reads/writes against.
@@ -233,7 +233,7 @@ impl<B: StorageBackend> ThrottledBackend<B> {
 
     fn delay(&self, bytes: usize) {
         let transfer = std::time::Duration::from_secs_f64(bytes as f64 / self.bytes_per_sec);
-        std::thread::sleep(self.latency + transfer);
+        zi_sync::thread::sleep(self.latency + transfer);
     }
 
     /// Access the wrapped backend.

@@ -11,7 +11,7 @@
 //! a crc crate, so both paths are hand-written. The checksums never
 //! leave the process, so the polynomial is an internal detail.
 
-use std::sync::OnceLock;
+use zi_sync::OnceLock;
 
 /// `TABLES[0]` is the classic byte-at-a-time table; `TABLES[k]` maps a
 /// byte to its CRC contribution from `k` positions deeper in the input.

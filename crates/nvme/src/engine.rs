@@ -15,7 +15,7 @@
 //! shards to CPU memory.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use zi_sync::Arc;
 
 use zi_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use zi_sync::channel::{unbounded, Sender};
@@ -606,7 +606,7 @@ mod tests {
         let mut handles = Vec::new();
         for tnum in 0..4u64 {
             let e = Arc::clone(&eng);
-            handles.push(std::thread::spawn(move || {
+            handles.push(zi_sync::thread::spawn(move || {
                 for i in 0..32u64 {
                     let off = (tnum * 32 + i) * 16;
                     let w = e.submit_write(off, vec![(tnum * 32 + i) as u8; 16]);

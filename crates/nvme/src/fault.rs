@@ -29,7 +29,7 @@
 //! therefore count as transient for the retry layer; only device death
 //! is terminal.
 
-use std::sync::Arc;
+use zi_sync::Arc;
 use std::time::Duration;
 
 use zi_sync::Mutex;
@@ -566,7 +566,7 @@ mod tests {
         let (plan, b) = faulty();
         b.write_at(0, &[7; 8]).unwrap();
         plan.delay_next_ops(1, Duration::from_millis(20));
-        let start = std::time::Instant::now();
+        let start = zi_sync::time::Instant::now();
         let mut buf = [0u8; 8];
         b.read_at(0, &mut buf).unwrap();
         assert!(start.elapsed() >= Duration::from_millis(15));

@@ -134,7 +134,7 @@ impl RetryPolicy {
                     gave_up: true,
                 };
             }
-            std::thread::sleep(pause);
+            zi_sync::thread::sleep(pause);
         }
     }
 }

@@ -27,7 +27,7 @@
 //! [`CheckpointStore::drain`] is the durability barrier that surfaces
 //! any background error.
 
-use std::sync::Arc;
+use zi_sync::Arc;
 
 use zi_sync::channel::{unbounded, Sender};
 use zi_sync::thread::JoinHandle;

@@ -216,6 +216,12 @@ impl<T> RwLock<T> {
     }
 }
 
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
 impl<T: ?Sized> RwLock<T> {
     /// Acquire shared read access.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
@@ -402,6 +408,7 @@ pub mod atomic {
     }
 
     atomic_common!(AtomicBool, AtomicBool, bool);
+    atomic_common!(AtomicU8, AtomicU8, u8);
     atomic_common!(AtomicU32, AtomicU32, u32);
     atomic_common!(AtomicU64, AtomicU64, u64);
     atomic_common!(AtomicUsize, AtomicUsize, usize);
@@ -465,6 +472,16 @@ pub mod channel {
             receivers: AtomicUsize::new(1),
         });
         (Sender { inner: tx, meta: Arc::clone(&meta) }, Receiver { inner: rx, meta })
+    }
+
+    /// Channel with a capacity hint. Under the model the capacity is
+    /// *not* enforced: a real `crossbeam::bounded` send would block the
+    /// serialized scheduler thread for actual wall time when full, so
+    /// checked builds back `bounded` with an unbounded queue and let the
+    /// model explore send/recv interleavings only. Back-pressure paths
+    /// that must be explored should use condvar windows instead.
+    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
     }
 
     impl<T> Sender<T> {
@@ -649,6 +666,10 @@ pub mod thread {
             std::thread::yield_now();
         }
     }
+
+    /// Hardware parallelism (passthrough: a model run serializes
+    /// execution regardless, so the real value is harmless).
+    pub use std::thread::available_parallelism;
 }
 
 /// Monotonic time that reads the model's virtual clock inside a run.

@@ -21,6 +21,15 @@
 //! `zi_check` build), the instrumented types transparently fall back to
 //! the real primitive behaviour.
 
+// Scheduling-neutral `std` re-exports, identical in both builds. They
+// live here so the sync-hygiene wall (`zi-audit`'s rule 1) stays a
+// single statement — "no `std::sync` outside `crates/sync`" — instead
+// of a carve-out list: `Arc`/`Weak` are reference counts (no blocking,
+// no ordering the model checker could explore) and `OnceLock` is
+// init-once process-global state (used for dispatch tables and lazy
+// CRC tables; first-use races are benign by construction).
+pub use std::sync::{Arc, OnceLock, Weak};
+
 #[cfg(not(zi_check))]
 mod passthrough {
     pub use parking_lot::{
@@ -29,7 +38,9 @@ mod passthrough {
 
     /// Atomic types (plain `std` re-exports in passthrough builds).
     pub mod atomic {
-        pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+        pub use std::sync::atomic::{
+            AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+        };
     }
 
     /// MPMC channels (vendored `crossbeam` re-exports in passthrough builds).
@@ -41,7 +52,9 @@ mod passthrough {
 
     /// Thread spawning and sleeping (plain `std` re-exports).
     pub mod thread {
-        pub use std::thread::{sleep, spawn, yield_now, Builder, JoinHandle, Result};
+        pub use std::thread::{
+            available_parallelism, sleep, spawn, yield_now, Builder, JoinHandle, Result,
+        };
     }
 
     /// Monotonic time (plain `std` re-export).

@@ -17,7 +17,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, OnceLock};
+use zi_sync::{Arc, OnceLock};
 
 use zi_sync::{thread, Condvar, Mutex};
 
@@ -27,7 +27,11 @@ use zi_sync::{thread, Condvar, Mutex};
 #[derive(Clone, Copy)]
 struct TaskPtr(*const (dyn Fn(usize) + Sync + 'static));
 
+// SAFETY: see the type docs — `KernelPool::run` keeps the pointee alive
+// until every worker is done with it, and `dyn Fn(usize) + Sync` makes
+// concurrent calls through the pointer sound.
 unsafe impl Send for TaskPtr {}
+// SAFETY: as above; shared `&TaskPtr` only ever calls the `Sync` closure.
 unsafe impl Sync for TaskPtr {}
 
 struct DoneState {
@@ -214,7 +218,11 @@ impl<T> Clone for SendPtr<T> {
 }
 impl<T> Copy for SendPtr<T> {}
 
+// SAFETY: `SendPtr` is an address, not an access — every dereference is
+// `unsafe` at the use site, where the caller must prove disjointness (the
+// pool's tiling tests model-check exactly that discipline).
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: as above; sharing the wrapper grants no access by itself.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
@@ -235,7 +243,7 @@ fn default_workers() -> usize {
             return n;
         }
     }
-    std::thread::available_parallelism().map(|n| n.get().saturating_sub(1)).unwrap_or(0)
+    zi_sync::thread::available_parallelism().map(|n| n.get().saturating_sub(1)).unwrap_or(0)
 }
 
 /// The process-wide kernel pool, sized from `ZI_KERNEL_THREADS` or

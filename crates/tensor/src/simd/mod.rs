@@ -42,8 +42,8 @@
 //! call [`force_backend`] to switch at runtime. `ZI_SIMD_FMA=1` opts into
 //! fused kernels; [`force_fma`] overrides programmatically.
 
-use std::sync::atomic::{AtomicU8, Ordering};
-use std::sync::OnceLock;
+use zi_sync::atomic::{AtomicU8, Ordering};
+use zi_sync::OnceLock;
 
 use crate::f16::F16;
 
@@ -204,6 +204,8 @@ macro_rules! dispatch {
             // SAFETY: `backend()` only returns Avx2 when CPUID reports it.
             Backend::Avx2 => unsafe { $avx2 },
             #[cfg(target_arch = "aarch64")]
+            // SAFETY: NEON is baseline on aarch64; the backend kernels assume
+            // nothing beyond it.
             Backend::Neon => unsafe { $neon },
             _ => $scalar,
         }

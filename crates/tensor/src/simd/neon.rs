@@ -14,7 +14,11 @@ use core::arch::aarch64::*;
 use super::{scalar, AdamParams, LANES};
 
 /// `acc[j] += a * x[j]`.
+// SAFETY: NEON is baseline on aarch64, so the intrinsics are always
+// available; `unsafe fn` only mirrors the cross-backend kernel signature.
 pub unsafe fn axpy(acc: &mut [f32], a: f32, x: &[f32], fma: bool) {
+    // SAFETY: all pointer arithmetic stays within the slice bounds checked
+    // by the surrounding loop conditions (chunks of 4/8 lanes + scalar tail).
     unsafe {
         let n = acc.len();
         let av = vdupq_n_f32(a);
@@ -33,7 +37,11 @@ pub unsafe fn axpy(acc: &mut [f32], a: f32, x: &[f32], fma: bool) {
 }
 
 /// Register-blocked 4-step axpy; numerics match [`scalar::axpy4`].
+// SAFETY: NEON is baseline on aarch64, so the intrinsics are always
+// available; `unsafe fn` only mirrors the cross-backend kernel signature.
 pub unsafe fn axpy4(acc: &mut [f32], a: [f32; 4], x: [&[f32]; 4], fma: bool) {
+    // SAFETY: all pointer arithmetic stays within the slice bounds checked
+    // by the surrounding loop conditions (chunks of 4/8 lanes + scalar tail).
     unsafe {
         let n = acc.len();
         let av = [vdupq_n_f32(a[0]), vdupq_n_f32(a[1]), vdupq_n_f32(a[2]), vdupq_n_f32(a[3])];
@@ -53,7 +61,10 @@ pub unsafe fn axpy4(acc: &mut [f32], a: [f32; 4], x: [&[f32]; 4], fma: bool) {
 }
 
 #[inline(always)]
+// SAFETY: writes exactly LANES f32s into a stack array of that size.
 unsafe fn store8(lo: float32x4_t, hi: float32x4_t) -> [f32; LANES] {
+    // SAFETY: all pointer arithmetic stays within the slice bounds checked
+    // by the surrounding loop conditions (chunks of 4/8 lanes + scalar tail).
     unsafe {
         let mut lanes = [0f32; LANES];
         vst1q_f32(lanes.as_mut_ptr(), lo);
@@ -63,7 +74,11 @@ unsafe fn store8(lo: float32x4_t, hi: float32x4_t) -> [f32; LANES] {
 }
 
 /// Canonical 8-lane dot product (two 4-wide accumulators).
+// SAFETY: NEON is baseline on aarch64, so the intrinsics are always
+// available; `unsafe fn` only mirrors the cross-backend kernel signature.
 pub unsafe fn dot(x: &[f32], w: &[f32], fma: bool) -> f32 {
+    // SAFETY: all pointer arithmetic stays within the slice bounds checked
+    // by the surrounding loop conditions (chunks of 4/8 lanes + scalar tail).
     unsafe {
         let n = x.len();
         let xp = x.as_ptr();
@@ -92,7 +107,11 @@ pub unsafe fn dot(x: &[f32], w: &[f32], fma: bool) -> f32 {
 }
 
 /// Four dot products sharing each load of `x`.
+// SAFETY: NEON is baseline on aarch64, so the intrinsics are always
+// available; `unsafe fn` only mirrors the cross-backend kernel signature.
 pub unsafe fn dot4(x: &[f32], w: [&[f32]; 4], fma: bool) -> [f32; 4] {
+    // SAFETY: all pointer arithmetic stays within the slice bounds checked
+    // by the surrounding loop conditions (chunks of 4/8 lanes + scalar tail).
     unsafe {
         let n = x.len();
         let xp = x.as_ptr();
@@ -126,6 +145,8 @@ pub unsafe fn dot4(x: &[f32], w: [&[f32]; 4], fma: bool) -> [f32; 4] {
 }
 
 /// Elementwise Adam chunk update with optional fused publish.
+// SAFETY: NEON is baseline on aarch64, so the intrinsics are always
+// available; `unsafe fn` only mirrors the cross-backend kernel signature.
 pub unsafe fn adam_chunk(
     p: &AdamParams,
     master: &mut [f32],
@@ -135,6 +156,8 @@ pub unsafe fn adam_chunk(
     publish: Option<&mut [f32]>,
     fma: bool,
 ) {
+    // SAFETY: all pointer arithmetic stays within the slice bounds checked
+    // by the surrounding loop conditions (chunks of 4/8 lanes + scalar tail).
     unsafe {
         let n = master.len();
         let b1 = vdupq_n_f32(p.beta1);

@@ -29,6 +29,8 @@ use crate::f16::F16;
 /// Bulk f16 → f32, bit-identical to [`F16::to_f32`] for all 65,536
 /// input patterns (exact conversion, NaN payloads shifted into place).
 #[target_feature(enable = "avx2")]
+// SAFETY: gated on the `target_feature` above — the caller must ensure the
+// CPU supports it; `super::backend()` verifies AVX2/FMA before dispatch.
 pub unsafe fn f16_to_f32(src: &[F16], dst: &mut [f32]) {
     let n = src.len();
     let sp = src.as_ptr() as *const __m128i;
@@ -61,6 +63,8 @@ pub unsafe fn f16_to_f32(src: &[F16], dst: &mut [f32]) {
 /// round-to-nearest-even with natural carry into the exponent
 /// (MAX → inf), canonical quiet NaN, signed-zero underflow.
 #[target_feature(enable = "avx2")]
+// SAFETY: gated on the `target_feature` above — the caller must ensure the
+// CPU supports it; `super::backend()` verifies AVX2/FMA before dispatch.
 pub unsafe fn f32_to_f16(src: &[f32], dst: &mut [F16]) {
     let n = src.len();
     let sp = src.as_ptr();
@@ -125,6 +129,9 @@ pub unsafe fn f32_to_f16(src: &[f32], dst: &mut [F16]) {
 // matmul microkernels
 
 #[inline(always)]
+// SAFETY: `inline(always)` helper with no feature gate of its own — must
+// only be inlined into a `target_feature(avx2[,fma])` caller, which every
+// call site in this module is.
 unsafe fn axpy_body<const FMA: bool>(acc: &mut [f32], a: f32, x: &[f32]) {
     let n = acc.len();
     let av = _mm256_set1_ps(a);
@@ -146,21 +153,30 @@ unsafe fn axpy_body<const FMA: bool>(acc: &mut [f32], a: f32, x: &[f32]) {
 }
 
 #[target_feature(enable = "avx2")]
+// SAFETY: gated on the `target_feature` above — the caller must ensure the
+// CPU supports it; `super::backend()` verifies AVX2/FMA before dispatch.
 unsafe fn axpy_plain(acc: &mut [f32], a: f32, x: &[f32]) {
     axpy_body::<false>(acc, a, x)
 }
 
 #[target_feature(enable = "avx2,fma")]
+// SAFETY: gated on the `target_feature` above — the caller must ensure the
+// CPU supports it; `super::backend()` verifies AVX2/FMA before dispatch.
 unsafe fn axpy_fma(acc: &mut [f32], a: f32, x: &[f32]) {
     axpy_body::<true>(acc, a, x)
 }
 
 /// `acc[j] += a * x[j]`.
+// SAFETY: forwards to `target_feature` kernels — the caller must ensure
+// AVX2 (and FMA when `fma` is true) support, as `super::backend()` does.
 pub unsafe fn axpy(acc: &mut [f32], a: f32, x: &[f32], fma: bool) {
     if fma { axpy_fma(acc, a, x) } else { axpy_plain(acc, a, x) }
 }
 
 #[inline(always)]
+// SAFETY: `inline(always)` helper with no feature gate of its own — must
+// only be inlined into a `target_feature(avx2[,fma])` caller, which every
+// call site in this module is.
 unsafe fn axpy4_body<const FMA: bool>(acc: &mut [f32], a: [f32; 4], x: [&[f32]; 4]) {
     let n = acc.len();
     let av = [
@@ -194,21 +210,30 @@ unsafe fn axpy4_body<const FMA: bool>(acc: &mut [f32], a: [f32; 4], x: [&[f32]; 
 }
 
 #[target_feature(enable = "avx2")]
+// SAFETY: gated on the `target_feature` above — the caller must ensure the
+// CPU supports it; `super::backend()` verifies AVX2/FMA before dispatch.
 unsafe fn axpy4_plain(acc: &mut [f32], a: [f32; 4], x: [&[f32]; 4]) {
     axpy4_body::<false>(acc, a, x)
 }
 
 #[target_feature(enable = "avx2,fma")]
+// SAFETY: gated on the `target_feature` above — the caller must ensure the
+// CPU supports it; `super::backend()` verifies AVX2/FMA before dispatch.
 unsafe fn axpy4_fma(acc: &mut [f32], a: [f32; 4], x: [&[f32]; 4]) {
     axpy4_body::<true>(acc, a, x)
 }
 
 /// Register-blocked 4-step axpy; numerics match [`scalar::axpy4`].
+// SAFETY: forwards to `target_feature` kernels — the caller must ensure
+// AVX2 (and FMA when `fma` is true) support, as `super::backend()` does.
 pub unsafe fn axpy4(acc: &mut [f32], a: [f32; 4], x: [&[f32]; 4], fma: bool) {
     if fma { axpy4_fma(acc, a, x) } else { axpy4_plain(acc, a, x) }
 }
 
 #[inline(always)]
+// SAFETY: `inline(always)` helper with no feature gate of its own — must
+// only be inlined into a `target_feature(avx2[,fma])` caller, which every
+// call site in this module is.
 unsafe fn dot_body<const FMA: bool>(x: &[f32], w: &[f32]) -> f32 {
     let n = x.len();
     let xp = x.as_ptr();
@@ -232,21 +257,30 @@ unsafe fn dot_body<const FMA: bool>(x: &[f32], w: &[f32]) -> f32 {
 }
 
 #[target_feature(enable = "avx2")]
+// SAFETY: gated on the `target_feature` above — the caller must ensure the
+// CPU supports it; `super::backend()` verifies AVX2/FMA before dispatch.
 unsafe fn dot_plain(x: &[f32], w: &[f32]) -> f32 {
     dot_body::<false>(x, w)
 }
 
 #[target_feature(enable = "avx2,fma")]
+// SAFETY: gated on the `target_feature` above — the caller must ensure the
+// CPU supports it; `super::backend()` verifies AVX2/FMA before dispatch.
 unsafe fn dot_fma(x: &[f32], w: &[f32]) -> f32 {
     dot_body::<true>(x, w)
 }
 
 /// Canonical 8-lane dot product.
+// SAFETY: forwards to `target_feature` kernels — the caller must ensure
+// AVX2 (and FMA when `fma` is true) support, as `super::backend()` does.
 pub unsafe fn dot(x: &[f32], w: &[f32], fma: bool) -> f32 {
     if fma { dot_fma(x, w) } else { dot_plain(x, w) }
 }
 
 #[inline(always)]
+// SAFETY: `inline(always)` helper with no feature gate of its own — must
+// only be inlined into a `target_feature(avx2[,fma])` caller, which every
+// call site in this module is.
 unsafe fn dot4_body<const FMA: bool>(x: &[f32], w: [&[f32]; 4]) -> [f32; 4] {
     let n = x.len();
     let xp = x.as_ptr();
@@ -275,22 +309,30 @@ unsafe fn dot4_body<const FMA: bool>(x: &[f32], w: [&[f32]; 4]) -> [f32; 4] {
 }
 
 #[target_feature(enable = "avx2")]
+// SAFETY: gated on the `target_feature` above — the caller must ensure the
+// CPU supports it; `super::backend()` verifies AVX2/FMA before dispatch.
 unsafe fn dot4_plain(x: &[f32], w: [&[f32]; 4]) -> [f32; 4] {
     dot4_body::<false>(x, w)
 }
 
 #[target_feature(enable = "avx2,fma")]
+// SAFETY: gated on the `target_feature` above — the caller must ensure the
+// CPU supports it; `super::backend()` verifies AVX2/FMA before dispatch.
 unsafe fn dot4_fma(x: &[f32], w: [&[f32]; 4]) -> [f32; 4] {
     dot4_body::<true>(x, w)
 }
 
 /// Four dot products sharing each load of `x`.
+// SAFETY: forwards to `target_feature` kernels — the caller must ensure
+// AVX2 (and FMA when `fma` is true) support, as `super::backend()` does.
 pub unsafe fn dot4(x: &[f32], w: [&[f32]; 4], fma: bool) -> [f32; 4] {
     if fma { dot4_fma(x, w) } else { dot4_plain(x, w) }
 }
 
 /// Canonical 8-lane sum.
 #[target_feature(enable = "avx2")]
+// SAFETY: gated on the `target_feature` above — the caller must ensure the
+// CPU supports it; `super::backend()` verifies AVX2/FMA before dispatch.
 pub unsafe fn vec_sum(x: &[f32]) -> f32 {
     let n = x.len();
     let xp = x.as_ptr();
@@ -309,6 +351,8 @@ pub unsafe fn vec_sum(x: &[f32]) -> f32 {
 }
 
 #[target_feature(enable = "avx2")]
+// SAFETY: gated on the `target_feature` above — the caller must ensure the
+// CPU supports it; `super::backend()` verifies AVX2/FMA before dispatch.
 unsafe fn vec_center_sumsq(x: &[f32], mean: f32) -> f32 {
     let n = x.len();
     let xp = x.as_ptr();
@@ -334,6 +378,9 @@ unsafe fn vec_center_sumsq(x: &[f32], mean: f32) -> f32 {
 
 /// Vector mirror of [`scalar::exp_approx`] (plain mul/add, never FMA).
 #[inline(always)]
+// SAFETY: `inline(always)` helper with no feature gate of its own — must
+// only be inlined into a `target_feature(avx2[,fma])` caller, which every
+// call site in this module is.
 unsafe fn exp_approx_v(z: __m256) -> __m256 {
     let y = _mm256_mul_ps(z, _mm256_set1_ps(std::f32::consts::LOG2_E));
     let kf = _mm256_round_ps::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(y);
@@ -353,6 +400,9 @@ unsafe fn exp_approx_v(z: __m256) -> __m256 {
 
 /// Vector mirror of [`scalar::tanh_half_approx`].
 #[inline(always)]
+// SAFETY: `inline(always)` helper with no feature gate of its own — must
+// only be inlined into a `target_feature(avx2[,fma])` caller, which every
+// call site in this module is.
 unsafe fn tanh_half_v(z: __m256) -> __m256 {
     let clamp = _mm256_set1_ps(18.0);
     let z = _mm256_max_ps(_mm256_min_ps(z, clamp), _mm256_sub_ps(_mm256_setzero_ps(), clamp));
@@ -362,6 +412,9 @@ unsafe fn tanh_half_v(z: __m256) -> __m256 {
 }
 
 #[inline(always)]
+// SAFETY: `inline(always)` helper with no feature gate of its own — must
+// only be inlined into a `target_feature(avx2[,fma])` caller, which every
+// call site in this module is.
 unsafe fn gelu_t_v(x: __m256) -> (__m256, __m256) {
     let x2 = _mm256_mul_ps(x, x);
     let x3 = _mm256_mul_ps(x2, x);
@@ -375,6 +428,8 @@ unsafe fn gelu_t_v(x: __m256) -> (__m256, __m256) {
 
 /// Elementwise GELU (tanh approximation).
 #[target_feature(enable = "avx2")]
+// SAFETY: gated on the `target_feature` above — the caller must ensure the
+// CPU supports it; `super::backend()` verifies AVX2/FMA before dispatch.
 pub unsafe fn gelu(x: &[f32], out: &mut [f32]) {
     let n = x.len();
     let xp = x.as_ptr();
@@ -394,6 +449,8 @@ pub unsafe fn gelu(x: &[f32], out: &mut [f32]) {
 
 /// Elementwise `out[i] = dy[i] * gelu'(x[i])`.
 #[target_feature(enable = "avx2")]
+// SAFETY: gated on the `target_feature` above — the caller must ensure the
+// CPU supports it; `super::backend()` verifies AVX2/FMA before dispatch.
 pub unsafe fn gelu_grad(x: &[f32], dy: &[f32], out: &mut [f32]) {
     let n = x.len();
     let xp = x.as_ptr();
@@ -424,6 +481,8 @@ pub unsafe fn gelu_grad(x: &[f32], dy: &[f32], out: &mut [f32]) {
 
 /// One row of layer normalization; returns `(mean, rstd)`.
 #[target_feature(enable = "avx2")]
+// SAFETY: gated on the `target_feature` above — the caller must ensure the
+// CPU supports it; `super::backend()` verifies AVX2/FMA before dispatch.
 pub unsafe fn layernorm_row(
     x: &[f32],
     gamma: &[f32],
@@ -462,6 +521,8 @@ pub unsafe fn layernorm_row(
 /// [`scalar::layernorm_backward_row`].
 #[target_feature(enable = "avx2")]
 #[allow(clippy::too_many_arguments)]
+// SAFETY: forwards to `target_feature` kernels — the caller must ensure
+// AVX2 (and FMA when `fma` is true) support, as `super::backend()` does.
 pub unsafe fn layernorm_backward_row(
     x: &[f32],
     dy: &[f32],
@@ -535,6 +596,9 @@ pub unsafe fn layernorm_backward_row(
 // adam
 
 #[inline(always)]
+// SAFETY: `inline(always)` helper with no feature gate of its own — must
+// only be inlined into a `target_feature(avx2[,fma])` caller, which every
+// call site in this module is.
 unsafe fn adam_body<const FMA: bool>(
     p: &AdamParams,
     master: &mut [f32],
@@ -598,6 +662,8 @@ unsafe fn adam_body<const FMA: bool>(
 }
 
 #[target_feature(enable = "avx2")]
+// SAFETY: gated on the `target_feature` above — the caller must ensure the
+// CPU supports it; `super::backend()` verifies AVX2/FMA before dispatch.
 unsafe fn adam_plain(
     p: &AdamParams,
     master: &mut [f32],
@@ -610,6 +676,8 @@ unsafe fn adam_plain(
 }
 
 #[target_feature(enable = "avx2,fma")]
+// SAFETY: gated on the `target_feature` above — the caller must ensure the
+// CPU supports it; `super::backend()` verifies AVX2/FMA before dispatch.
 unsafe fn adam_fma(
     p: &AdamParams,
     master: &mut [f32],
@@ -622,6 +690,8 @@ unsafe fn adam_fma(
 }
 
 /// Elementwise Adam chunk update with optional fused publish.
+// SAFETY: forwards to `target_feature` kernels — the caller must ensure
+// AVX2 (and FMA when `fma` is true) support, as `super::backend()` does.
 pub unsafe fn adam_chunk(
     p: &AdamParams,
     master: &mut [f32],

@@ -21,7 +21,7 @@
 //! they are compared against are covered by the unit tests in-crate).
 #![cfg(not(miri))]
 
-use std::sync::{Mutex, OnceLock};
+use zi_sync::{Mutex, OnceLock};
 
 use zi_tensor::f16::F16;
 use zi_tensor::ops;
@@ -31,7 +31,7 @@ use zi_tensor::Tensor;
 /// Serialize tests that flip the global backend/FMA overrides.
 fn with_backend<T>(b: Option<Backend>, fma: Option<bool>, f: impl FnOnce() -> T) -> T {
     static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
-    let _g = GUARD.get_or_init(|| Mutex::new(())).lock().unwrap();
+    let _g = GUARD.get_or_init(|| Mutex::new(())).lock();
     simd::force_backend(b);
     simd::force_fma(fma);
     let out = f();

@@ -170,7 +170,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), String> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -210,14 +210,15 @@ impl Parser<'_> {
         {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-ascii number"))?;
         text.parse::<f64>()
             .map(JsonValue::Num)
             .map_err(|_| self.err(&format!("bad number '{text}'")))
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut s = String::new();
         loop {
             match self.peek() {
@@ -256,7 +257,7 @@ impl Parser<'_> {
                     // boundaries are valid).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid utf-8"))?;
-                    let ch = rest.chars().next().expect("non-empty");
+                    let ch = rest.chars().next().ok_or_else(|| self.err("unterminated string"))?;
                     s.push(ch);
                     self.pos += ch.len_utf8();
                 }
@@ -265,7 +266,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<JsonValue, String> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -288,7 +289,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<JsonValue, String> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -299,7 +300,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             fields.push((key, value));
@@ -415,11 +416,11 @@ mod tests {
             let mut s = t.span(Category::NcTransfer, "nc.read");
             s.set_bytes(4096);
             s.set_id(11);
-            std::thread::sleep(std::time::Duration::from_millis(1));
+            zi_sync::thread::sleep(std::time::Duration::from_millis(1));
         }
         {
             let _s = t.span(Category::Compute, "adam_chunk");
-            std::thread::sleep(std::time::Duration::from_millis(1));
+            zi_sync::thread::sleep(std::time::Duration::from_millis(1));
         }
         t.instant(Category::Retry, "io.retry", 0, 2);
         t.count(Counter::NcReadBytes, 4096);

@@ -29,7 +29,7 @@
 //!   `trace_ring_drain` harness in `crates/check`).
 
 use std::cell::RefCell;
-use std::sync::{Arc, Weak};
+use zi_sync::{Arc, Weak};
 
 use zi_sync::atomic::{AtomicU64, Ordering};
 use zi_sync::{Mutex, RaceCell};
@@ -356,7 +356,7 @@ struct Inner {
 
 /// Distinguishes tracers in thread-local ring lookup. A plain `std`
 /// atomic: id allocation is not part of any protocol under test.
-static NEXT_TRACER_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+static NEXT_TRACER_ID: zi_sync::atomic::AtomicU64 = zi_sync::atomic::AtomicU64::new(1);
 
 thread_local! {
     static TLS_RINGS: RefCell<Vec<TlsEntry>> = const { RefCell::new(Vec::new()) };
@@ -404,7 +404,7 @@ impl Tracer {
     fn build(enabled: bool, ring_capacity: usize) -> Self {
         Tracer {
             inner: Arc::new(Inner {
-                id: NEXT_TRACER_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+                id: NEXT_TRACER_ID.fetch_add(1, zi_sync::atomic::Ordering::Relaxed),
                 enabled,
                 epoch: zi_sync::time::Instant::now(),
                 ring_capacity: ring_capacity.max(1),

@@ -40,11 +40,11 @@ fn main() {
 
     // Train on rank threads manually (the long-hand version of
     // `train_gpt`, to show the per-rank API).
-    let node = std::sync::Arc::new(node);
+    let node = zi_sync::Arc::new(node);
     let mut handles = Vec::new();
     for rank in 0..world {
-        let node = std::sync::Arc::clone(&node);
-        handles.push(std::thread::spawn(move || {
+        let node = zi_sync::Arc::clone(&node);
+        handles.push(zi_sync::thread::spawn(move || {
             let model = GptModel::new(cfg);
             let mut engine = ZeroEngine::new(
                 model.registry(),

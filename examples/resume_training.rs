@@ -22,7 +22,7 @@
 //!
 //! Run with: `cargo run --release --example resume_training`
 
-use std::sync::Arc;
+use zi_sync::Arc;
 
 use zero_infinity_suite::chaos::{ChaosEvent, ChaosPlan};
 use zero_infinity_suite::model::GptConfig;

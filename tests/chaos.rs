@@ -23,7 +23,7 @@
 //!   joins, delays and corruption on one deterministic, seed-replayable
 //!   timeline whose event log must accept the session's outcome.
 
-use std::sync::Arc;
+use zi_sync::Arc;
 use std::time::Duration;
 
 use proptest::prelude::*;
@@ -280,7 +280,7 @@ mod adaptive {
 
 mod elasticity {
     use super::*;
-    use std::time::Instant;
+    use zi_sync::time::Instant;
     use zero_infinity::{
         decode_checkpoint_payload, encode_checkpoint_payload, reshard_checkpoint_blobs,
         train_gpt_env, TrainEnv,

@@ -1,7 +1,7 @@
 //! End-to-end integration: real file-backed NVMe, multi-rank training,
 //! fp16 storage, checkpointing and prefetch all engaged at once.
 
-use std::sync::Arc;
+use zi_sync::Arc;
 
 use zero_infinity_suite::model::{GptConfig, GptModel, RunOptions};
 use zero_infinity_suite::optim::AdamConfig;
@@ -32,7 +32,7 @@ fn full_stack_training_on_file_backed_nvme() {
     let mut handles = Vec::new();
     for rank in 0..world {
         let node = Arc::clone(&node);
-        handles.push(std::thread::spawn(move || {
+        handles.push(zi_sync::thread::spawn(move || {
             let model = GptModel::new(cfg);
             let mut engine = ZeroEngine::new(
                 model.registry(),
@@ -112,7 +112,7 @@ fn gpu_working_memory_stays_bounded() {
     let mut handles = Vec::new();
     for rank in 0..world {
         let node = Arc::clone(&node);
-        handles.push(std::thread::spawn(move || {
+        handles.push(zi_sync::thread::spawn(move || {
             let model = GptModel::new(cfg);
             let mut engine = ZeroEngine::new(
                 model.registry(),

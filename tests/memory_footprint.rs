@@ -11,7 +11,7 @@
 //! tests measure the *actual* bytes charged to each real memory pool and
 //! check the distribution.
 
-use std::sync::Arc;
+use zi_sync::Arc;
 
 use zero_infinity_suite::model::{GptConfig, GptModel, RunOptions};
 use zero_infinity_suite::optim::AdamConfig;
@@ -33,7 +33,7 @@ fn measure(strategy: Strategy, world: usize) -> (u64, u64, u64, usize) {
     let mut handles = Vec::new();
     for rank in 0..world {
         let node = Arc::clone(&node);
-        handles.push(std::thread::spawn(move || {
+        handles.push(zi_sync::thread::spawn(move || {
             let model = GptModel::new(cfg());
             let engine = ZeroEngine::new(
                 model.registry(),

@@ -3,7 +3,7 @@
 //! and with the wall-clock structure of a training run — otherwise the
 //! overlap-efficiency report is measuring fiction.
 
-use std::sync::Arc;
+use zi_sync::Arc;
 
 use zero_infinity::{
     train_gpt_env, NodeResources, Strategy, TrainEnv, TrainSpec, ZeroEngine,
