@@ -83,7 +83,12 @@ mod tests {
     use zi_sync::Arc;
 
     fn knobs(d: usize) -> Knobs {
-        Knobs { step_pipeline_depth: d, prefetch_window: 2 * d, write_behind: 3 * d }
+        Knobs {
+            step_pipeline_depth: d,
+            prefetch_window: 2 * d,
+            write_behind: 3 * d,
+            optimizer_cpu_permille: 125 * d,
+        }
     }
 
     #[test]

@@ -11,14 +11,16 @@ pub enum Knob {
     Prefetch,
     /// `write_behind`.
     WriteBehind,
+    /// `optimizer_cpu_permille` — the re-tier knob.
+    Placement,
 }
 
 /// Probe direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Dir {
-    /// Widen the knob (×2; prefetch 0 → 1).
+    /// Widen the knob (×2; prefetch 0 → 1; placement +125‰ CPU-ward).
     Up,
-    /// Narrow the knob (÷2; prefetch 1 → 0).
+    /// Narrow the knob (÷2; prefetch 1 → 0; placement −125‰).
     Down,
 }
 
@@ -181,14 +183,22 @@ impl Default for ControllerConfig {
 
 /// Candidate moves, in default preference order: widening first (the
 /// shipped defaults err narrow), depth before windows, narrowing last.
-const MOVES: [(Knob, Dir); 6] = [
+/// The placement moves are appended after the original six so the
+/// hint indices into the prefix stay stable.
+const MOVES: [(Knob, Dir); 8] = [
     (Knob::Depth, Dir::Up),
     (Knob::WriteBehind, Dir::Up),
     (Knob::Prefetch, Dir::Up),
     (Knob::Depth, Dir::Down),
     (Knob::WriteBehind, Dir::Down),
     (Knob::Prefetch, Dir::Down),
+    (Knob::Placement, Dir::Up),
+    (Knob::Placement, Dir::Down),
 ];
+
+/// Permille step of one placement probe. Additive rather than ×2/÷2:
+/// the knob starts at 0 (all-NVMe), which doubling can never leave.
+const PLACEMENT_STEP: usize = 125;
 
 /// Telemetry accumulated over one measurement window; steers which move
 /// is probed next (the feedback half of the closed loop).
@@ -197,6 +207,8 @@ struct WindowHints {
     wb_stalls: u64,
     prefetch_pressure: u64,
     min_nc_efficiency: f64,
+    nc_bw_sum: f64,
+    cp_bw_sum: f64,
     samples: usize,
 }
 
@@ -209,6 +221,8 @@ impl WindowHints {
         } else {
             self.min_nc_efficiency.min(s.nc_efficiency)
         };
+        self.nc_bw_sum += s.nc_bandwidth_bps;
+        self.cp_bw_sum += s.cp_bandwidth_bps;
         self.samples += 1;
     }
 }
@@ -423,6 +437,13 @@ impl AdaptiveController {
             if h.prefetch_pressure >= self.cfg.prefetch_threshold {
                 add(2, &mut order); // Prefetch Up
             }
+            // Measured per-hop bandwidth drives the re-tier knob: when
+            // the DRAM path is sustaining well over the device path, the
+            // device is the bottleneck and moving a hotter fraction
+            // CPU-ward is the most promising probe.
+            if h.nc_bw_sum > 0.0 && h.cp_bw_sum > 2.0 * h.nc_bw_sum {
+                add(6, &mut order); // Placement Up
+            }
             if h.min_nc_efficiency < self.cfg.low_efficiency {
                 add(0, &mut order); // Depth Up
             }
@@ -475,7 +496,8 @@ fn median(window: &mut [u64]) -> u64 {
     window[window.len() / 2]
 }
 
-/// One hill-climbing move: ×2/÷2 (prefetch walks through 0↔1), clamped
+/// One hill-climbing move: ×2/÷2 (prefetch walks through 0↔1);
+/// placement walks additively by [`PLACEMENT_STEP`] permille. Clamped
 /// to `bounds`; `None` when clamping makes it a no-op.
 fn apply_move(k: Knobs, knob: Knob, dir: Dir, bounds: &KnobBounds) -> Option<Knobs> {
     let step = |v: usize| match dir {
@@ -487,6 +509,12 @@ fn apply_move(k: Knobs, knob: Knob, dir: Dir, bounds: &KnobBounds) -> Option<Kno
         Knob::Depth => next.step_pipeline_depth = step(k.step_pipeline_depth),
         Knob::Prefetch => next.prefetch_window = step(k.prefetch_window),
         Knob::WriteBehind => next.write_behind = step(k.write_behind),
+        Knob::Placement => {
+            next.optimizer_cpu_permille = match dir {
+                Dir::Up => k.optimizer_cpu_permille.saturating_add(PLACEMENT_STEP),
+                Dir::Down => k.optimizer_cpu_permille.saturating_sub(PLACEMENT_STEP),
+            }
+        }
     }
     let next = bounds.clamp(next);
     (next != k).then_some(next)
@@ -512,6 +540,7 @@ mod tests {
                 step_ns: cost(applied, step),
                 nc_efficiency: 0.5, // pessimistic: keeps Depth-Up hinted
                 nc_bandwidth_bps: 1e9,
+                cp_bandwidth_bps: 0.0,
                 wb_stalls: 0,
                 prefetch_late: 0,
                 prefetch_misses: 0,
@@ -521,6 +550,36 @@ mod tests {
                 applied = k;
             }
             history.push(applied);
+        }
+        history
+    }
+
+    /// Like [`drive`], but stops as soon as the controller parks in a
+    /// Hold — the stable point the convergence assertions care about
+    /// (a fixed step count can land mid-probe, with a trial move
+    /// temporarily in force).
+    fn drive_until_parked(
+        ctl: &mut AdaptiveController,
+        max: u64,
+        mut cost: impl FnMut(Knobs, u64) -> u64,
+    ) -> Vec<Knobs> {
+        let mut applied = ctl.knobs();
+        let mut history = Vec::new();
+        for step in 0..max {
+            let sample = StepSample {
+                step,
+                step_ns: cost(applied, step),
+                nc_efficiency: 0.5,
+                nc_bandwidth_bps: 1e9,
+                ..StepSample::default()
+            };
+            if let Some(k) = ctl.observe(sample) {
+                applied = k;
+            }
+            history.push(applied);
+            if matches!(ctl.log().last().map(|e| e.decision), Some(Decision::Hold { .. })) {
+                break;
+            }
         }
         history
     }
@@ -540,14 +599,24 @@ mod tests {
 
     #[test]
     fn climbs_from_a_bad_config_to_the_optimum() {
-        let start = Knobs { step_pipeline_depth: 1, prefetch_window: 0, write_behind: 1 };
+        let start = Knobs {
+                step_pipeline_depth: 1,
+                prefetch_window: 0,
+                write_behind: 1,
+                optimizer_cpu_permille: 0,
+            };
         let mut ctl = AdaptiveController::new(
             start,
             KnobBounds::default(),
             ControllerConfig::default(),
         );
-        let history = drive(&mut ctl, 160, bowl, |_| false);
-        let best = Knobs { step_pipeline_depth: 4, prefetch_window: 2, write_behind: 8 };
+        let history = drive_until_parked(&mut ctl, 200, bowl);
+        let best = Knobs {
+                step_pipeline_depth: 4,
+                prefetch_window: 2,
+                write_behind: 8,
+                optimizer_cpu_permille: 0,
+            };
         assert_eq!(*history.last().unwrap(), best, "log:\n{:#?}", ctl.log());
         assert_eq!(ctl.knobs(), best);
         // Converged means parked: the log's tail is a Hold.
@@ -566,14 +635,19 @@ mod tests {
         // A surface where the starting point is already optimal: every
         // probe regresses, every probe must be rolled back, and the
         // controller must end exactly where it started.
-        let start = Knobs { step_pipeline_depth: 2, prefetch_window: 2, write_behind: 4 };
+        let start = Knobs {
+                step_pipeline_depth: 2,
+                prefetch_window: 2,
+                write_behind: 4,
+                optimizer_cpu_permille: 0,
+            };
         let cost = move |k: Knobs, _| if k == start { 1_000_000 } else { 2_000_000 };
         let mut ctl = AdaptiveController::new(
             start,
             KnobBounds::default(),
             ControllerConfig::default(),
         );
-        drive(&mut ctl, 60, cost, |_| false);
+        drive_until_parked(&mut ctl, 200, cost);
         assert_eq!(ctl.knobs(), start, "all regressions must revert");
         let rollbacks =
             ctl.log().iter().filter(|e| matches!(e.decision, Decision::Rollback { .. })).count();
@@ -588,14 +662,19 @@ mod tests {
     fn hysteresis_rejects_marginal_gains() {
         // 2% better on every move: below the 5% margin, so nothing is
         // ever accepted.
-        let start = Knobs { step_pipeline_depth: 2, prefetch_window: 2, write_behind: 4 };
+        let start = Knobs {
+                step_pipeline_depth: 2,
+                prefetch_window: 2,
+                write_behind: 4,
+                optimizer_cpu_permille: 0,
+            };
         let cost = move |k: Knobs, _| if k == start { 1_000_000 } else { 980_000 };
         let mut ctl = AdaptiveController::new(
             start,
             KnobBounds::default(),
             ControllerConfig::default(),
         );
-        drive(&mut ctl, 60, cost, |_| false);
+        drive_until_parked(&mut ctl, 200, cost);
         assert_eq!(ctl.knobs(), start);
         assert!(!ctl.log().iter().any(|e| matches!(e.decision, Decision::Accept { .. })));
     }
@@ -612,7 +691,12 @@ mod tests {
         };
         let cost = move |k: Knobs, step: u64| if step < 40 { a(k) } else { b(k) };
         let mut ctl = AdaptiveController::new(
-            Knobs { step_pipeline_depth: 1, prefetch_window: 0, write_behind: 1 },
+            Knobs {
+                step_pipeline_depth: 1,
+                prefetch_window: 0,
+                write_behind: 1,
+                optimizer_cpu_permille: 0,
+            },
             KnobBounds::default(),
             ControllerConfig::default(),
         );
@@ -642,7 +726,12 @@ mod tests {
         // slowdown with no degraded flip (e.g. a neighbor saturating
         // the device): the hold watchdog must notice.
         let mut ctl = AdaptiveController::new(
-            Knobs { step_pipeline_depth: 2, prefetch_window: 2, write_behind: 4 },
+            Knobs {
+                step_pipeline_depth: 2,
+                prefetch_window: 2,
+                write_behind: 4,
+                optimizer_cpu_permille: 0,
+            },
             KnobBounds::default(),
             ControllerConfig::default(),
         );
@@ -673,7 +762,12 @@ mod tests {
 
     #[test]
     fn manual_reset_keeps_knobs_and_restarts_warmup() {
-        let start = Knobs { step_pipeline_depth: 4, prefetch_window: 2, write_behind: 8 };
+        let start = Knobs {
+                step_pipeline_depth: 4,
+                prefetch_window: 2,
+                write_behind: 8,
+                optimizer_cpu_permille: 0,
+            };
         let mut ctl = AdaptiveController::new(
             start,
             KnobBounds::default(),
@@ -694,7 +788,12 @@ mod tests {
     fn decision_log_replays_deterministically() {
         let run = || {
             let mut ctl = AdaptiveController::new(
-                Knobs { step_pipeline_depth: 1, prefetch_window: 0, write_behind: 1 },
+                Knobs {
+                step_pipeline_depth: 1,
+                prefetch_window: 0,
+                write_behind: 1,
+                optimizer_cpu_permille: 0,
+            },
                 KnobBounds::default(),
                 ControllerConfig::default(),
             );
@@ -707,7 +806,12 @@ mod tests {
     #[test]
     fn stall_hints_steer_the_first_probe_to_the_write_window() {
         let mut ctl = AdaptiveController::new(
-            Knobs { step_pipeline_depth: 2, prefetch_window: 2, write_behind: 2 },
+            Knobs {
+                step_pipeline_depth: 2,
+                prefetch_window: 2,
+                write_behind: 2,
+                optimizer_cpu_permille: 0,
+            },
             KnobBounds::default(),
             ControllerConfig::default(),
         );
@@ -733,6 +837,52 @@ mod tests {
             (Knob::WriteBehind, Dir::Up),
             "stall telemetry must steer the search: {:#?}",
             ctl.log()
+        );
+    }
+
+    #[test]
+    fn bandwidth_imbalance_steers_the_first_probe_to_placement() {
+        // DRAM path sustaining 8 GB/s against a 1 GB/s device, healthy
+        // overlap otherwise: the most promising move is shifting the
+        // hot fraction CPU-ward, not deepening the pipeline.
+        let mut ctl = AdaptiveController::new(
+            Knobs {
+                step_pipeline_depth: 2,
+                prefetch_window: 2,
+                write_behind: 4,
+                optimizer_cpu_permille: 125,
+            },
+            KnobBounds::default(),
+            ControllerConfig::default(),
+        );
+        for step in 0..8 {
+            let _ = ctl.observe(StepSample {
+                step,
+                step_ns: 1_000_000,
+                nc_efficiency: 1.0,
+                nc_bandwidth_bps: 1e9,
+                cp_bandwidth_bps: 8e9,
+                ..StepSample::default()
+            });
+        }
+        let first_probe = ctl
+            .log()
+            .iter()
+            .find_map(|e| match e.decision {
+                Decision::Probe { knob, dir, from } => Some((knob, dir, from, e.knobs)),
+                _ => None,
+            })
+            .expect("a probe should have been issued");
+        assert_eq!(
+            (first_probe.0, first_probe.1),
+            (Knob::Placement, Dir::Up),
+            "bandwidth telemetry must steer the re-tier knob: {:#?}",
+            ctl.log()
+        );
+        assert_eq!(
+            first_probe.3.optimizer_cpu_permille,
+            first_probe.2.optimizer_cpu_permille + 125,
+            "placement probes move additively by one step"
         );
     }
 }

@@ -47,14 +47,22 @@ pub struct Knobs {
     /// Bound on in-flight write-behind requests during the streamed
     /// optimizer step.
     pub write_behind: usize,
+    /// Fraction of each optimizer shard placed in CPU DRAM instead of
+    /// NVMe, in permille (0 = all-NVMe, 1000 = all-CPU). The re-tier
+    /// knob: the controller moves the hot fraction CPU-ward when the
+    /// measured cp-hop bandwidth has headroom over the nc hop.
+    pub optimizer_cpu_permille: usize,
 }
 
 impl std::fmt::Display for Knobs {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "depth={} prefetch={} wb={}",
-            self.step_pipeline_depth, self.prefetch_window, self.write_behind
+            "depth={} prefetch={} wb={} cpu={}‰",
+            self.step_pipeline_depth,
+            self.prefetch_window,
+            self.write_behind,
+            self.optimizer_cpu_permille
         )
     }
 }
@@ -69,11 +77,13 @@ pub struct KnobBounds {
     pub prefetch: (usize, usize),
     /// Write-behind window range (min is clamped to at least 1).
     pub write_behind: (usize, usize),
+    /// Optimizer-shard CPU placement range, permille (capped at 1000).
+    pub placement: (usize, usize),
 }
 
 impl Default for KnobBounds {
     fn default() -> Self {
-        KnobBounds { depth: (1, 8), prefetch: (0, 8), write_behind: (1, 32) }
+        KnobBounds { depth: (1, 8), prefetch: (0, 8), write_behind: (1, 32), placement: (0, 1000) }
     }
 }
 
@@ -84,10 +94,12 @@ impl KnobBounds {
             let lo = lo.max(floor);
             v.clamp(lo, hi.max(lo))
         };
+        let pm = |v: usize, (lo, hi): (usize, usize)| v.clamp(lo, hi.max(lo)).min(1000);
         Knobs {
             step_pipeline_depth: boxed(k.step_pipeline_depth, self.depth, 1),
             prefetch_window: boxed(k.prefetch_window, self.prefetch, 0),
             write_behind: boxed(k.write_behind, self.write_behind, 1),
+            optimizer_cpu_permille: pm(k.optimizer_cpu_permille, self.placement),
         }
     }
 }
@@ -109,6 +121,9 @@ pub struct StepSample {
     pub nc_efficiency: f64,
     /// nc-hop effective bandwidth for this step, bytes/second.
     pub nc_bandwidth_bps: f64,
+    /// cp-hop (CPU-DRAM placement path) effective bandwidth for this
+    /// step, bytes/second; 0.0 while no shard has a DRAM-resident part.
+    pub cp_bandwidth_bps: f64,
     /// Write-behind submissions that genuinely blocked on a full window
     /// this step (back-pressure: the device is behind the pipeline).
     pub wb_stalls: u64,
@@ -129,16 +144,53 @@ mod bounds_tests {
     #[test]
     fn clamp_boxes_every_field() {
         let b = KnobBounds::default();
-        let k = b.clamp(Knobs { step_pipeline_depth: 0, prefetch_window: 99, write_behind: 0 });
-        assert_eq!(k, Knobs { step_pipeline_depth: 1, prefetch_window: 8, write_behind: 1 });
-        let k = b.clamp(Knobs { step_pipeline_depth: 4, prefetch_window: 3, write_behind: 12 });
-        assert_eq!(k, Knobs { step_pipeline_depth: 4, prefetch_window: 3, write_behind: 12 });
+        let k = b.clamp(Knobs {
+            step_pipeline_depth: 0,
+            prefetch_window: 99,
+            write_behind: 0,
+            optimizer_cpu_permille: 5000,
+        });
+        assert_eq!(
+            k,
+            Knobs {
+                step_pipeline_depth: 1,
+                prefetch_window: 8,
+                write_behind: 1,
+                optimizer_cpu_permille: 1000,
+            }
+        );
+        let k = b.clamp(Knobs {
+            step_pipeline_depth: 4,
+            prefetch_window: 3,
+            write_behind: 12,
+            optimizer_cpu_permille: 250,
+        });
+        assert_eq!(
+            k,
+            Knobs {
+                step_pipeline_depth: 4,
+                prefetch_window: 3,
+                write_behind: 12,
+                optimizer_cpu_permille: 250,
+            }
+        );
     }
 
     #[test]
     fn degenerate_bounds_still_produce_legal_knobs() {
-        let b = KnobBounds { depth: (0, 0), prefetch: (0, 0), write_behind: (0, 0) };
-        let k = b.clamp(Knobs { step_pipeline_depth: 5, prefetch_window: 5, write_behind: 5 });
+        let b = KnobBounds {
+            depth: (0, 0),
+            prefetch: (0, 0),
+            write_behind: (0, 0),
+            placement: (2000, 5000),
+        };
+        let k = b.clamp(Knobs {
+            step_pipeline_depth: 5,
+            prefetch_window: 5,
+            write_behind: 5,
+            optimizer_cpu_permille: 5,
+        });
         assert!(k.step_pipeline_depth >= 1 && k.write_behind >= 1);
+        assert!(k.optimizer_cpu_permille <= 1000, "permille cap holds even for bad bounds");
     }
 }

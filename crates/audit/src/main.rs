@@ -1,12 +1,13 @@
 //! The `zi-audit` binary: walk the workspace, run the rule passes,
 //! apply `audit.allow`, print human + JSON findings, exit nonzero on
-//! any unallowlisted violation.
+//! any unallowlisted violation or stale allowlist entry.
 //!
 //! ```text
 //! zi-audit [--root DIR] [--allow FILE] [--json FILE] [--quiet]
 //! ```
 //!
-//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+//! Exit codes: 0 clean, 1 violations or stale allow entries found,
+//! 2 usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -112,7 +113,11 @@ fn main() -> ExitCode {
         }
     }
 
-    if outcome.kept.is_empty() {
+    // A stale allow entry is an error, not a warning: each entry is a
+    // deliberate hole in the wall, and one that suppresses nothing
+    // either outlived its fix or never matched — both mean the file no
+    // longer describes the real exception surface.
+    if outcome.kept.is_empty() && outcome.unused.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)

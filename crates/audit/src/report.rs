@@ -188,7 +188,7 @@ pub fn to_human(analysis: &Analysis, outcome: &AllowOutcome) -> String {
     for e in &outcome.unused {
         let _ = writeln!(
             out,
-            "warning: audit.allow:{} ({} {}) suppressed nothing — stale entry?",
+            "error: audit.allow:{} ({} {}) suppressed nothing — stale entry",
             e.line,
             e.rule.as_str(),
             e.glob

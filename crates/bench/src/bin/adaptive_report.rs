@@ -39,7 +39,8 @@ const NVME_LATENCY: Duration = Duration::from_micros(400);
 const CHUNK: usize = 1 << 10;
 
 /// The deliberately bad starting point the controller must escape.
-const START: Knobs = Knobs { step_pipeline_depth: 1, prefetch_window: 0, write_behind: 1 };
+const START: Knobs =
+    Knobs { step_pipeline_depth: 1, prefetch_window: 0, write_behind: 1, optimizer_cpu_permille: 0 };
 
 #[derive(Clone, Copy)]
 enum BackendKind {
@@ -334,13 +335,13 @@ fn main() {
     // Hand-tuned static ladder; the first entry IS the adaptive run's
     // starting point, so "no worse than start" reuses its measurement.
     let statics: Vec<Knobs> = if quick {
-        vec![START, Knobs { step_pipeline_depth: 2, prefetch_window: 2, write_behind: 6 }]
+        vec![START, Knobs { step_pipeline_depth: 2, prefetch_window: 2, write_behind: 6, optimizer_cpu_permille: 0 }]
     } else {
         vec![
             START,
-            Knobs { step_pipeline_depth: 2, prefetch_window: 2, write_behind: 6 },
-            Knobs { step_pipeline_depth: 4, prefetch_window: 2, write_behind: 12 },
-            Knobs { step_pipeline_depth: 8, prefetch_window: 4, write_behind: 24 },
+            Knobs { step_pipeline_depth: 2, prefetch_window: 2, write_behind: 6, optimizer_cpu_permille: 0 },
+            Knobs { step_pipeline_depth: 4, prefetch_window: 2, write_behind: 12, optimizer_cpu_permille: 0 },
+            Knobs { step_pipeline_depth: 8, prefetch_window: 4, write_behind: 24, optimizer_cpu_permille: 0 },
         ]
     };
     let (adaptive_steps, warmup, measured) = if quick { (24, 1, 5) } else { (96, 2, 9) };

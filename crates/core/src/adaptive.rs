@@ -54,13 +54,17 @@ impl TelemetryCursor {
         let delta = |now: u64, then: u64| now.saturating_sub(then);
         // The slice holds exactly one step's spans, so the report's
         // run-level totals *are* this step's numbers; no per-step
-        // envelope bookkeeping needed. totals[0] is the nc hop.
-        let nc = OverlapReport::from_events(&events).totals[0];
+        // envelope bookkeeping needed. totals[0] is the nc hop,
+        // totals[3] the cp placement path.
+        let report = OverlapReport::from_events(&events);
+        let nc = report.totals[0];
+        let cp = report.totals[3];
         let sample = StepSample {
             step,
             step_ns,
             nc_efficiency: nc.efficiency(),
             nc_bandwidth_bps: nc.bandwidth_bps(),
+            cp_bandwidth_bps: cp.bandwidth_bps(),
             wb_stalls: delta(snap.wb_stalls, self.counters.wb_stalls),
             prefetch_late: delta(snap.prefetch_late, self.counters.prefetch_late),
             prefetch_misses: delta(snap.prefetch_misses, self.counters.prefetch_misses),

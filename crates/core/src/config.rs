@@ -61,6 +61,14 @@ pub struct Strategy {
     /// independently of depth — the adaptive controller tunes this to
     /// keep deferred writes from crowding latency-critical reads.
     pub write_behind: usize,
+    /// Fraction of each NVMe-tier optimizer shard placed in CPU DRAM
+    /// instead of on the device, in permille (0 = all-NVMe, 1000 =
+    /// all-CPU). Splitting lets the pipelined step stream the DRAM and
+    /// NVMe halves concurrently, so aggregate read bandwidth exceeds
+    /// either single tier; the adaptive controller re-tiers this at
+    /// runtime from measured per-hop bandwidth. Ignored unless the
+    /// optimizer placement is NVMe.
+    pub optimizer_cpu_permille: usize,
 }
 
 impl Strategy {
@@ -78,6 +86,7 @@ impl Strategy {
             optimizer_chunk: usize::MAX,
             step_pipeline_depth: 1,
             write_behind: 0,
+            optimizer_cpu_permille: 0,
         }
     }
 
@@ -194,6 +203,27 @@ impl Strategy {
         Strategy { write_behind: window, ..self }
     }
 
+    /// Override the CPU-DRAM share of NVMe-tier optimizer shards,
+    /// permille (clamped to 1000).
+    pub fn with_optimizer_cpu_permille(self, permille: usize) -> Strategy {
+        Strategy { optimizer_cpu_permille: permille.min(1000), ..self }
+    }
+
+    /// The placement policy for optimizer shards. Single-path unless
+    /// the optimizer tier is NVMe and a CPU share is configured; the
+    /// stripe is tied to the streaming chunk so every in-flight chunk
+    /// straddles both paths (capped so tiny test chunks stay legal).
+    pub fn optimizer_policy(&self) -> zi_memory::PlacementPolicy {
+        if self.placement.optimizer != DeviceKind::Nvme || self.optimizer_cpu_permille == 0 {
+            return zi_memory::PlacementPolicy::all_nvme();
+        }
+        if self.optimizer_cpu_permille >= 1000 {
+            return zi_memory::PlacementPolicy::all_cpu();
+        }
+        let stripe = (self.optimizer_chunk.min(1 << 20) / 2).max(1);
+        zi_memory::PlacementPolicy::split(self.optimizer_cpu_permille as u32, stripe)
+    }
+
     /// The write-behind bound in force for a given pipeline depth:
     /// the explicit window, or three writes per in-flight chunk when
     /// on auto.
@@ -213,6 +243,7 @@ impl Strategy {
             step_pipeline_depth: self.step_pipeline_depth.max(1),
             prefetch_window: self.prefetch_window,
             write_behind: self.write_behind_bound(),
+            optimizer_cpu_permille: self.optimizer_cpu_permille.min(1000),
         }
     }
 }

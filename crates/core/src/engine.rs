@@ -26,7 +26,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use zi_comm::{Communicator, Partitioner};
-use zi_memory::{Block, ScratchPool};
+use zi_memory::{Block, PlacementPolicy, ScratchPool};
 use zi_model::{ParamId, ParamRegistry, ParamStore};
 use zi_optim::{adam_update_chunk_publish, AdamConfig, LossScaler};
 use zi_tensor::{FlatBuffer, Tensor};
@@ -34,7 +34,7 @@ use zi_trace::{Category, Counter};
 use zi_types::{DType, Device, DeviceKind, Error, Result};
 
 use crate::config::Strategy;
-use crate::offload::{DeviceBuf, OffloadManager, PendingLoad, WriteBehind};
+use crate::offload::{DeviceBuf, OffloadManager, PlacedBuf, PlacedPending, WriteBehind};
 use crate::prefetch::{PrefetchStats, Prefetcher, TraceMap};
 
 /// How parameters are stored between uses.
@@ -54,11 +54,16 @@ enum GradStorage {
 }
 
 /// Optimizer state (fp32 master/momentum/variance) for this rank's
-/// update range.
+/// update range. Each of the three lives under a placement plan: for
+/// NVMe-tier optimizer state the shard may be split between CPU DRAM
+/// and the device, and the streamed step drives both paths at once.
 struct OptimStorage {
-    master: DeviceBuf,
-    m: DeviceBuf,
-    v: DeviceBuf,
+    master: PlacedBuf,
+    m: PlacedBuf,
+    v: PlacedBuf,
+    /// The policy the three buffers were last (re)stored under; compared
+    /// against the strategy's current policy to detect re-tier drift.
+    policy: PlacementPolicy,
     step: u64,
 }
 
@@ -127,6 +132,9 @@ pub struct ZeroEngine {
     trace: TraceMap,
     /// Recycled f32 chunk buffers for the streaming optimizer step.
     scratch: ScratchPool,
+    /// Last placement-cell version consumed; newer publishes (a
+    /// degradation collapse) are folded in at the next step.
+    placement_seen: u64,
     stats: EngineStats,
 }
 
@@ -209,10 +217,16 @@ impl ZeroEngine {
                 full.data().to_vec()
             };
             let opt_len = master_vals.len();
+            let policy = strategy.optimizer_policy();
             let optim = OptimStorage {
-                master: mgr.store(optim_device, FlatBuffer::from_f32(DType::F32, &master_vals))?,
-                m: mgr.store(optim_device, FlatBuffer::zeros(DType::F32, opt_len))?,
-                v: mgr.store(optim_device, FlatBuffer::zeros(DType::F32, opt_len))?,
+                master: mgr.store_placed(
+                    optim_device,
+                    &policy,
+                    FlatBuffer::from_f32(DType::F32, &master_vals),
+                )?,
+                m: mgr.store_placed(optim_device, &policy, FlatBuffer::zeros(DType::F32, opt_len))?,
+                v: mgr.store_placed(optim_device, &policy, FlatBuffer::zeros(DType::F32, opt_len))?,
+                policy,
                 step: 0,
             };
 
@@ -226,6 +240,9 @@ impl ZeroEngine {
                 optim,
             });
         }
+        // Anything published before construction is already reflected in
+        // the stores above (a degraded node collapses plans up front).
+        let placement_seen = mgr.placement_cell().read().0;
         Ok(ZeroEngine {
             strategy,
             mgr,
@@ -240,6 +257,7 @@ impl ZeroEngine {
             prefetcher: Prefetcher::new(),
             trace: TraceMap::new(),
             scratch: ScratchPool::new(),
+            placement_seen,
             stats: EngineStats::default(),
         })
     }
@@ -360,6 +378,7 @@ impl ZeroEngine {
     pub fn step(&mut self) -> Result<bool> {
         let step_tracer = self.mgr.tracer().clone();
         let _span = step_tracer.span(Category::OptimStep, "optim.step");
+        self.sync_optimizer_placement()?;
         // Global overflow check: any non-finite gradient anywhere skips
         // the step on every rank. The scan itself happened during
         // accumulation (see `ShardState::grad_nonfinite`), so this costs
@@ -473,6 +492,48 @@ impl ZeroEngine {
         }
     }
 
+    /// Bring every optimizer shard's placement in line with the current
+    /// policy before the step touches it.
+    ///
+    /// Two inputs, in priority order: a newer publish on the node-wide
+    /// plan cell (an NVMe degradation collapsing every plan to all-CPU —
+    /// split shards re-publish their NVMe-resident half to CPU instead
+    /// of dropping it with the store), then drift between the strategy's
+    /// policy and the one each shard was stored under (the re-tier knob;
+    /// a load/store round trip, numerically invisible).
+    fn sync_optimizer_placement(&mut self) -> Result<()> {
+        let mgr = &self.mgr;
+        if let Some((version, policy)) = mgr.placement_cell().read_if_newer(self.placement_seen) {
+            self.placement_seen = version;
+            if policy == PlacementPolicy::all_cpu() {
+                for st in &mut self.shards {
+                    mgr.collapse_placed(&mut st.optim.master)?;
+                    mgr.collapse_placed(&mut st.optim.m)?;
+                    mgr.collapse_placed(&mut st.optim.v)?;
+                    st.optim.policy = policy;
+                }
+                return Ok(());
+            }
+        }
+        if self.mgr.is_degraded() {
+            // No device to re-tier onto; the collapse above (or the
+            // degraded store path) already owns placement.
+            return Ok(());
+        }
+        let target = self.strategy.optimizer_policy();
+        let optim_device = device_for(self.strategy.placement.optimizer, self.gpu_index);
+        for st in &mut self.shards {
+            if st.optim.policy == target {
+                continue;
+            }
+            mgr.retier_placed(&mut st.optim.master, optim_device, &target)?;
+            mgr.retier_placed(&mut st.optim.m, optim_device, &target)?;
+            mgr.retier_placed(&mut st.optim.v, optim_device, &target)?;
+            st.optim.policy = target;
+        }
+        Ok(())
+    }
+
     fn end_iteration(&mut self) -> Result<()> {
         self.trace.end_iteration();
         self.prefetcher.clear(&self.mgr)?;
@@ -522,6 +583,10 @@ impl ZeroEngine {
         self.strategy.step_pipeline_depth = knobs.step_pipeline_depth.max(1);
         self.strategy.prefetch_window = knobs.prefetch_window;
         self.strategy.write_behind = knobs.write_behind.max(1);
+        // The re-tier knob: shards whose stored placement drifts from
+        // the new policy are moved at the start of the next step
+        // (load/store round trip — bit-preserving, like the others).
+        self.strategy.optimizer_cpu_permille = knobs.optimizer_cpu_permille.min(1000);
     }
 
     /// The overlap knobs currently in force (inverse of
@@ -540,9 +605,9 @@ impl ZeroEngine {
             out.push(crate::checkpoint::ParamRecord {
                 step: st.optim.step,
                 numel: st.numel as u64,
-                master: self.mgr.load(&st.optim.master)?.to_f32_vec(),
-                m: self.mgr.load(&st.optim.m)?.to_f32_vec(),
-                v: self.mgr.load(&st.optim.v)?.to_f32_vec(),
+                master: self.mgr.load_placed(&st.optim.master)?.to_f32_vec(),
+                m: self.mgr.load_placed(&st.optim.m)?.to_f32_vec(),
+                v: self.mgr.load_placed(&st.optim.v)?.to_f32_vec(),
             });
         }
         Ok(out)
@@ -578,10 +643,14 @@ impl ZeroEngine {
             {
                 let st = &mut self.shards[idx];
                 st.optim.step = rec.step;
+                self.mgr.overwrite_placed(
+                    &mut st.optim.master,
+                    &FlatBuffer::from_f32(DType::F32, &rec.master),
+                )?;
                 self.mgr
-                    .overwrite(&mut st.optim.master, &FlatBuffer::from_f32(DType::F32, &rec.master))?;
-                self.mgr.overwrite(&mut st.optim.m, &FlatBuffer::from_f32(DType::F32, &rec.m))?;
-                self.mgr.overwrite(&mut st.optim.v, &FlatBuffer::from_f32(DType::F32, &rec.v))?;
+                    .overwrite_placed(&mut st.optim.m, &FlatBuffer::from_f32(DType::F32, &rec.m))?;
+                self.mgr
+                    .overwrite_placed(&mut st.optim.v, &FlatBuffer::from_f32(DType::F32, &rec.v))?;
             }
             self.publish_master(idx, &rec.master)?;
         }
@@ -598,9 +667,9 @@ impl ZeroEngine {
                 ParamStorage::Partitioned(b) | ParamStorage::Replicated(b) => b,
             };
             self.mgr.free(pbuf);
-            self.mgr.free(st.optim.master);
-            self.mgr.free(st.optim.m);
-            self.mgr.free(st.optim.v);
+            self.mgr.free_placed(st.optim.master);
+            self.mgr.free_placed(st.optim.m);
+            self.mgr.free_placed(st.optim.v);
         }
         let gpu = self.gpu_device();
         for (_, r) in self.resident.drain() {
@@ -737,18 +806,22 @@ fn stream_shard_update(
     let step_no = optim.step;
     let mut stats = StreamStats::default();
     let mut wb = WriteBehind::new(wb_window);
-    let mut pending: VecDeque<(usize, usize, [PendingLoad; 3])> = VecDeque::new();
+    let mut pending: VecDeque<(usize, usize, [PlacedPending; 3])> = VecDeque::new();
     let mut issued = 0usize;
 
     let mut run = || -> Result<()> {
         while issued < total || !pending.is_empty() {
             // Keep `depth` chunks' reads in flight ahead of the update.
+            // A split shard fans each chunk out over both placement
+            // paths: the NVMe parts queue on the device while the
+            // CPU-DRAM parts land immediately — concurrent nc + cp
+            // traffic within one pipelined step.
             while issued < total && pending.len() < depth {
                 let len = chunk.min(total - issued);
                 let loads = [
-                    mgr.begin_load_elems(&optim.master, issued, len)?,
-                    mgr.begin_load_elems(&optim.m, issued, len)?,
-                    mgr.begin_load_elems(&optim.v, issued, len)?,
+                    mgr.begin_load_elems_placed(&optim.master, issued, len)?,
+                    mgr.begin_load_elems_placed(&optim.m, issued, len)?,
+                    mgr.begin_load_elems_placed(&optim.v, issued, len)?,
                 ];
                 pending.push_back((issued, len, loads));
                 issued += len;
@@ -784,14 +857,14 @@ fn stream_shard_update(
                     &mut new_master[start..start + len],
                 );
             }
-            wb.submit_elems(
+            wb.submit_elems_placed(
                 mgr,
                 &mut optim.master,
                 start,
                 &FlatBuffer::from_f32(DType::F32, &mchunk),
             )?;
-            wb.submit_elems(mgr, &mut optim.m, start, &FlatBuffer::from_f32(DType::F32, &m1))?;
-            wb.submit_elems(mgr, &mut optim.v, start, &FlatBuffer::from_f32(DType::F32, &m2))?;
+            wb.submit_elems_placed(mgr, &mut optim.m, start, &FlatBuffer::from_f32(DType::F32, &m1))?;
+            wb.submit_elems_placed(mgr, &mut optim.v, start, &FlatBuffer::from_f32(DType::F32, &m2))?;
             if depth == 1 {
                 // Sequential semantics: this chunk is durable before the
                 // next chunk's reads are even issued.

@@ -14,10 +14,12 @@ use zi_sync::Arc;
 
 use zi_sync::Mutex;
 use zi_comm::{CommConfig, CommGroup, Membership};
-use zi_memory::{Block, MemoryHierarchy, NodeMemorySpec, PinnedBufferPool};
+use zi_memory::{
+    Block, MemoryHierarchy, NodeMemorySpec, PathKind, PinnedBufferPool, PlacementPolicy, PlanCell,
+};
 use zi_nvme::{checksum::crc32, FileBackend, MemBackend, NvmeEngine, RetryPolicy, StorageBackend, Ticket};
 use zi_tensor::FlatBuffer;
-use zi_trace::{Counter, Tracer};
+use zi_trace::{Category, Counter, Tracer};
 use zi_types::{DType, Device, DeviceKind, Error, Result, WorldSize};
 
 /// Re-reads attempted when a checksum mismatch is detected before the
@@ -116,6 +118,9 @@ pub struct NodeResources {
     pub group: CommGroup,
     /// Shared checksum registry and degradation latch.
     resilience: Arc<ResilienceState>,
+    /// Node-wide placement-policy cell: degradation (and re-tiering)
+    /// publish whole policies here so readers never see a torn one.
+    placement: Arc<PlanCell>,
     /// Node-wide tracer; the NVMe engine, pinned pool, comm group and
     /// every [`OffloadManager`] clone record into the same stream.
     tracer: Tracer,
@@ -234,6 +239,7 @@ impl NodeResources {
             ),
             group,
             resilience: Arc::new(ResilienceState::default()),
+            placement: Arc::new(PlanCell::new(PlacementPolicy::all_nvme())),
             tracer,
         }
     }
@@ -243,12 +249,21 @@ impl NodeResources {
         &self.tracer
     }
 
+    /// The node's placement-policy cell (see [`PlanCell`]): degradation
+    /// publishes the all-CPU collapse here, and engines poll it at step
+    /// boundaries to re-tier split shards.
+    pub fn placement_cell(&self) -> &Arc<PlanCell> {
+        &self.placement
+    }
+
     /// Start (or force) this node into degraded mode: every NVMe store
     /// is placed on CPU instead. Used when restarting after a device
     /// death — the replacement run must not trust the dead device.
+    /// Publishes the all-CPU policy so split shards collapse too.
     pub fn degrade(&self) {
         if !self.resilience.degraded.swap(true, Ordering::Release) {
             self.tracer.count(Counter::DegradedTransitions, 1);
+            self.placement.publish(PlacementPolicy::all_cpu());
         }
     }
 
@@ -259,6 +274,7 @@ impl NodeResources {
             nvme: Arc::clone(&self.nvme),
             pinned: self.pinned.clone(),
             resilience: Arc::clone(&self.resilience),
+            placement: Arc::clone(&self.placement),
             tracer: self.tracer.clone(),
         }
     }
@@ -300,6 +316,16 @@ impl DeviceBuf {
     /// nc-transfer); GPU/CPU buffers resolve from process memory.
     pub fn is_offloaded(&self) -> bool {
         self.ram.is_none()
+    }
+
+    /// The placement path this buffer resolves through: NVMe extents go
+    /// over the nc path, everything RAM-resident over the cp path.
+    pub fn path(&self) -> PathKind {
+        if self.is_offloaded() {
+            PathKind::Nvme
+        } else {
+            PathKind::Cpu
+        }
     }
 }
 
@@ -361,6 +387,7 @@ pub struct OffloadManager {
     nvme: Arc<NvmeEngine>,
     pinned: PinnedBufferPool,
     resilience: Arc<ResilienceState>,
+    placement: Arc<PlanCell>,
     tracer: Tracer,
 }
 
@@ -385,10 +412,17 @@ impl OffloadManager {
         &self.tracer
     }
 
-    /// Latch the degradation flag, counting the first transition.
+    /// The node's placement-policy cell (shared with [`NodeResources`]).
+    pub fn placement_cell(&self) -> &Arc<PlanCell> {
+        &self.placement
+    }
+
+    /// Latch the degradation flag, counting the first transition and
+    /// publishing the all-CPU collapse policy so plan readers re-tier.
     fn latch_degraded(&self) {
         if !self.resilience.degraded.swap(true, Ordering::Release) {
             self.tracer.count(Counter::DegradedTransitions, 1);
+            self.placement.publish(PlacementPolicy::all_cpu());
         }
     }
 
@@ -862,6 +896,390 @@ impl Drop for WriteBehind {
     }
 }
 
+/// One contiguous piece of a placed shard: a [`DeviceBuf`] plus its
+/// element offset within the logical shard.
+#[derive(Debug)]
+pub struct PlacedSegment {
+    start: usize,
+    buf: DeviceBuf,
+}
+
+impl PlacedSegment {
+    /// First shard element this segment covers.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Elements in this segment.
+    pub fn len(&self) -> usize {
+        self.buf.numel()
+    }
+
+    /// True when the segment holds no elements (never constructed).
+    pub fn is_empty(&self) -> bool {
+        self.buf.numel() == 0
+    }
+
+    /// One past the last shard element this segment covers.
+    pub fn end(&self) -> usize {
+        self.start + self.buf.numel()
+    }
+
+    /// The path the segment currently resolves through. A segment
+    /// *planned* for NVMe reports [`PathKind::Cpu`] after a failover
+    /// moved its bytes to DRAM — readers care where the bytes are, not
+    /// where the plan wanted them.
+    pub fn path(&self) -> PathKind {
+        self.buf.path()
+    }
+
+    /// The backing buffer.
+    pub fn buf(&self) -> &DeviceBuf {
+        &self.buf
+    }
+}
+
+/// One logical shard stored under a placement plan: an ordered,
+/// disjoint, exhaustive list of per-path [`DeviceBuf`] segments.
+///
+/// This is the "placement plan per shard" generalization of the old
+/// one-backing-store model: a [`PlacementPolicy`] split places part of
+/// the shard in CPU DRAM (the cp path) and the rest on NVMe (the nc
+/// path), and every ranged operation fans out across the segments it
+/// touches — so a streamed pass drives both paths concurrently.
+#[derive(Debug)]
+pub struct PlacedBuf {
+    dtype: DType,
+    numel: usize,
+    segments: Vec<PlacedSegment>,
+}
+
+impl PlacedBuf {
+    /// Element type.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Number of elements across all segments.
+    pub fn numel(&self) -> usize {
+        self.numel
+    }
+
+    /// Size in bytes across all segments.
+    pub fn size_in_bytes(&self) -> usize {
+        self.dtype.bytes_for(self.numel)
+    }
+
+    /// The segments, ordered by `start`, disjoint and exhaustive.
+    pub fn segments(&self) -> &[PlacedSegment] {
+        &self.segments
+    }
+
+    /// Elements currently resolving through `path`.
+    pub fn elems_on(&self, path: PathKind) -> usize {
+        self.segments.iter().filter(|s| s.path() == path).map(|s| s.len()).sum()
+    }
+
+    /// True when the shard is split across both paths.
+    pub fn is_split(&self) -> bool {
+        self.elems_on(PathKind::Nvme) > 0 && self.elems_on(PathKind::Cpu) > 0
+    }
+
+    /// True when any part of the shard still lives on the NVMe device.
+    pub fn is_offloaded(&self) -> bool {
+        self.segments.iter().any(|s| s.buf.is_offloaded())
+    }
+}
+
+/// A placed load in flight: one [`PendingLoad`] per touched segment.
+/// CPU-path parts resolve immediately; NVMe parts stay queued on the
+/// device — so waiting a placed pending overlaps exactly the nc share
+/// of the range.
+pub struct PlacedPending {
+    dtype: DType,
+    len: usize,
+    /// `(offset within the requested range, part)`, in range order.
+    parts: Vec<(usize, PendingLoad)>,
+}
+
+impl PlacedPending {
+    /// Block until every part landed and assemble the range.
+    pub fn wait(mut self, mgr: &OffloadManager) -> Result<FlatBuffer> {
+        if self.parts.len() == 1 {
+            let (off, part) = self.parts.pop().expect("checked above");
+            debug_assert_eq!(off, 0);
+            return part.wait(mgr);
+        }
+        let mut bytes = vec![0u8; self.dtype.bytes_for(self.len)];
+        for (off, part) in self.parts {
+            let fb = part.wait(mgr)?;
+            let lo = self.dtype.bytes_for(off);
+            bytes[lo..lo + fb.size_in_bytes()].copy_from_slice(fb.as_bytes());
+        }
+        FlatBuffer::from_bytes(self.dtype, bytes)
+    }
+
+    /// True if any part still has an outstanding NVMe request.
+    pub fn is_async(&self) -> bool {
+        self.parts.iter().any(|(_, p)| p.is_async())
+    }
+
+    /// True once every part is available without blocking.
+    pub fn ready(&self, mgr: &OffloadManager) -> bool {
+        self.parts.iter().all(|(_, p)| p.ready(mgr))
+    }
+}
+
+impl OffloadManager {
+    /// The device a placement path maps to.
+    fn path_device(path: PathKind) -> Device {
+        match path {
+            PathKind::Cpu => Device::cpu(),
+            PathKind::Nvme => Device::nvme(),
+        }
+    }
+
+    /// Store `data` on `device` under `policy`.
+    ///
+    /// Only NVMe-tier stores split: `policy` decides what fraction of
+    /// the shard stays in CPU DRAM (interleaved at the policy's stripe),
+    /// and the rest goes to the device. GPU/CPU-tier stores ignore the
+    /// policy (one RAM segment). A degraded node collapses the plan to
+    /// all-CPU up front, and an NVMe segment whose write dies mid-store
+    /// fails over *alone* — the other segments keep their placement
+    /// (this is the placement-aware fix for the old whole-shard
+    /// failover assumption).
+    pub fn store_placed(
+        &self,
+        device: Device,
+        policy: &PlacementPolicy,
+        data: FlatBuffer,
+    ) -> Result<PlacedBuf> {
+        let dtype = data.dtype();
+        let numel = data.numel();
+        if device.kind != DeviceKind::Nvme {
+            let buf = self.store(device, data)?;
+            return Ok(PlacedBuf { dtype, numel, segments: vec![PlacedSegment { start: 0, buf }] });
+        }
+        let policy = if self.is_degraded() { PlacementPolicy::all_cpu() } else { *policy };
+        let plan = policy.plan(numel);
+        let mut segments: Vec<PlacedSegment> = Vec::with_capacity(plan.segments().len());
+        for seg in plan.segments() {
+            let part = if plan.is_single_path() && seg.len == numel {
+                data.clone()
+            } else {
+                data.slice(seg.start, seg.len)?
+            };
+            let target = Self::path_device(seg.path);
+            if seg.path == PathKind::Cpu {
+                let mut span = self.tracer.span(Category::CpTransfer, "cp.store");
+                span.set_bytes(part.size_in_bytes() as u64);
+                self.tracer.count(Counter::CpWriteBytes, part.size_in_bytes() as u64);
+            }
+            // `store` handles the per-segment failover: a device death
+            // mid-write moves only this segment's bytes to CPU.
+            match self.store(target, part) {
+                Ok(buf) => segments.push(PlacedSegment { start: seg.start, buf }),
+                Err(e) => {
+                    for stored in segments {
+                        self.free(stored.buf);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(PlacedBuf { dtype, numel, segments })
+    }
+
+    /// Load the entire placed shard, reassembling split segments.
+    pub fn load_placed(&self, buf: &PlacedBuf) -> Result<FlatBuffer> {
+        if buf.segments.len() == 1 {
+            return self.load(&buf.segments[0].buf);
+        }
+        let mut bytes = vec![0u8; buf.size_in_bytes()];
+        for seg in &buf.segments {
+            let fb = self.load(&seg.buf)?;
+            let lo = buf.dtype.bytes_for(seg.start);
+            bytes[lo..lo + fb.size_in_bytes()].copy_from_slice(fb.as_bytes());
+        }
+        FlatBuffer::from_bytes(buf.dtype, bytes)
+    }
+
+    /// Begin an asynchronous load of elements `[start, start+len)` of a
+    /// placed shard. NVMe parts are issued to the device immediately;
+    /// CPU-DRAM parts are materialized here under a cp-hop span — so a
+    /// pipelined caller streams both paths concurrently.
+    pub fn begin_load_elems_placed(
+        &self,
+        buf: &PlacedBuf,
+        start: usize,
+        len: usize,
+    ) -> Result<PlacedPending> {
+        if start + len > buf.numel {
+            return Err(Error::shape(format!(
+                "begin_load_elems_placed [{start}, {}) out of shard of {} elements",
+                start + len,
+                buf.numel
+            )));
+        }
+        let end = start + len;
+        let mut parts = Vec::new();
+        for seg in &buf.segments {
+            if seg.end() <= start {
+                continue;
+            }
+            if seg.start() >= end {
+                break;
+            }
+            let lo = seg.start().max(start);
+            let hi = seg.end().min(end);
+            let part = if seg.path() == PathKind::Cpu {
+                let nbytes = buf.dtype.bytes_for(hi - lo) as u64;
+                let mut span = self.tracer.span(Category::CpTransfer, "cp.read");
+                span.set_bytes(nbytes);
+                span.set_id(lo as u64);
+                let p = self.begin_load_elems(&seg.buf, lo - seg.start(), hi - lo)?;
+                self.tracer.count(Counter::CpReadBytes, nbytes);
+                p
+            } else {
+                self.begin_load_elems(&seg.buf, lo - seg.start(), hi - lo)?
+            };
+            parts.push((lo - start, part));
+        }
+        Ok(PlacedPending { dtype: buf.dtype, len, parts })
+    }
+
+    /// Replace the placed shard's entire contents, each segment over its
+    /// own path.
+    pub fn overwrite_placed(&self, buf: &mut PlacedBuf, data: &FlatBuffer) -> Result<()> {
+        if data.numel() != buf.numel || data.dtype() != buf.dtype {
+            return Err(Error::shape("overwrite_placed size/dtype mismatch"));
+        }
+        let single = buf.segments.len() == 1;
+        for seg in &mut buf.segments {
+            let part = if single { data.clone() } else { data.slice(seg.start, seg.buf.numel())? };
+            if seg.path() == PathKind::Cpu {
+                let mut span = self.tracer.span(Category::CpTransfer, "cp.write");
+                span.set_bytes(part.size_in_bytes() as u64);
+                self.tracer.count(Counter::CpWriteBytes, part.size_in_bytes() as u64);
+            }
+            self.overwrite(&mut seg.buf, &part)?;
+        }
+        Ok(())
+    }
+
+    /// Asynchronously overwrite the placed shard: NVMe segments go out
+    /// as detached writes (completion at [`Self::flush`]), CPU segments
+    /// land synchronously under a cp-hop span.
+    pub fn overwrite_async_placed(&self, buf: &mut PlacedBuf, data: &FlatBuffer) -> Result<()> {
+        if data.numel() != buf.numel || data.dtype() != buf.dtype {
+            return Err(Error::shape("overwrite_async_placed size/dtype mismatch"));
+        }
+        let single = buf.segments.len() == 1;
+        for seg in &mut buf.segments {
+            let part = if single { data.clone() } else { data.slice(seg.start, seg.buf.numel())? };
+            if seg.path() == PathKind::Cpu {
+                let mut span = self.tracer.span(Category::CpTransfer, "cp.write");
+                span.set_bytes(part.size_in_bytes() as u64);
+                self.tracer.count(Counter::CpWriteBytes, part.size_in_bytes() as u64);
+            }
+            self.overwrite_async(&mut seg.buf, &part)?;
+        }
+        Ok(())
+    }
+
+    /// Re-publish every NVMe-resident segment of a split shard to CPU
+    /// DRAM, leaving DRAM-resident segments untouched, then release the
+    /// NVMe extents. This is the graceful degradation path: when the
+    /// node degrades while the device still answers reads (explicit
+    /// degrade, health-driven collapse), the NVMe-resident *half* of a
+    /// split shard is preserved rather than dropped with the store.
+    /// Reads are checksum-verified; a dead device surfaces its typed
+    /// error so the caller falls back to checkpoint recovery.
+    pub fn collapse_placed(&self, buf: &mut PlacedBuf) -> Result<()> {
+        for seg in &mut buf.segments {
+            if !seg.buf.is_offloaded() {
+                continue;
+            }
+            let data = self.load(&seg.buf)?;
+            let cpu = self.store(Device::cpu(), data)?;
+            self.resilience.failovers.fetch_add(1, Ordering::Relaxed);
+            let old = std::mem::replace(&mut seg.buf, cpu);
+            self.free(old);
+        }
+        Ok(())
+    }
+
+    /// Move a placed shard to a new placement: load it whole, store it
+    /// under `policy`, free the old segments. The re-tier knob's
+    /// mechanism — bit-preserving by construction (load/store round
+    /// trip), so placement moves are numerically invisible.
+    pub fn retier_placed(
+        &self,
+        buf: &mut PlacedBuf,
+        device: Device,
+        policy: &PlacementPolicy,
+    ) -> Result<()> {
+        let data = self.load_placed(buf)?;
+        let fresh = self.store_placed(device, policy, data)?;
+        let old = std::mem::replace(buf, fresh);
+        self.free_placed(old);
+        Ok(())
+    }
+
+    /// Release every segment of a placed shard.
+    pub fn free_placed(&self, buf: PlacedBuf) {
+        for seg in buf.segments {
+            self.free(seg.buf);
+        }
+    }
+}
+
+impl WriteBehind {
+    /// Queue an overwrite of `buf[start .. start + data.numel())` of a
+    /// placed shard: NVMe parts enter the bounded async window, CPU
+    /// parts land synchronously under a cp-hop span — the write half of
+    /// the two-path stream.
+    pub fn submit_elems_placed(
+        &mut self,
+        mgr: &OffloadManager,
+        buf: &mut PlacedBuf,
+        start: usize,
+        data: &FlatBuffer,
+    ) -> Result<()> {
+        if data.dtype() != buf.dtype || start + data.numel() > buf.numel {
+            return Err(Error::shape("write-behind size/dtype mismatch"));
+        }
+        let end = start + data.numel();
+        let single = buf.segments.len() == 1;
+        for seg in &mut buf.segments {
+            if seg.end() <= start {
+                continue;
+            }
+            if seg.start() >= end {
+                break;
+            }
+            let lo = seg.start().max(start);
+            let hi = seg.end().min(end);
+            let part = if single && lo == start && hi == end {
+                data.clone()
+            } else {
+                data.slice(lo - start, hi - lo)?
+            };
+            if seg.path() == PathKind::Cpu {
+                let mut span = mgr.tracer.span(Category::CpTransfer, "cp.write");
+                span.set_bytes(part.size_in_bytes() as u64);
+                span.set_id(lo as u64);
+                mgr.tracer.count(Counter::CpWriteBytes, part.size_in_bytes() as u64);
+                self.submit_elems(mgr, &mut seg.buf, lo - seg.start, &part)?;
+            } else {
+                self.submit_elems(mgr, &mut seg.buf, lo - seg.start, &part)?;
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1133,9 +1551,20 @@ mod tests {
         let mut buf = mgr.store(Device::nvme(), buf_f32(&[0.0; 16])).unwrap();
         let mut wb = WriteBehind::new(4);
         plan.kill();
-        wb.submit_elems(&mgr, &mut buf, 0, &buf_f32(&[1.0; 8])).unwrap();
-        wb.submit_elems(&mgr, &mut buf, 8, &buf_f32(&[2.0; 8])).unwrap();
-        let err = wb.drain(&mgr).unwrap_err();
+        // Submission harvests already-completed tickets before queuing,
+        // so the death can surface at the second submit (when the worker
+        // retired the first failed write in between) or at drain — the
+        // same typed error either way.
+        let early = wb
+            .submit_elems(&mgr, &mut buf, 0, &buf_f32(&[1.0; 8]))
+            .and_then(|()| wb.submit_elems(&mgr, &mut buf, 8, &buf_f32(&[2.0; 8])));
+        let err = match early {
+            Ok(()) => wb.drain(&mgr).unwrap_err(),
+            Err(e) => {
+                let _ = wb.drain(&mgr);
+                e
+            }
+        };
         assert!(err.is_device_failure(), "got {err}");
         assert_eq!(wb.in_flight(), 0, "drain consumes every ticket even on failure");
         mgr.free(buf);
@@ -1189,6 +1618,7 @@ mod tests {
             pinned: PinnedBufferPool::new(2, 64), // 16 f32 per chunk
             group: CommGroup::new(1),
             resilience: Arc::new(ResilienceState::default()),
+            placement: Arc::new(PlanCell::new(PlacementPolicy::all_nvme())),
             tracer: Tracer::new(),
         };
         let mgr = node.offload_manager();
@@ -1199,5 +1629,168 @@ mod tests {
         let want: Vec<f32> = vals.iter().zip(&delta).map(|(a, b)| a + b).collect();
         assert_eq!(mgr.load(&buf).unwrap().to_f32_vec(), want);
         mgr.free(buf);
+    }
+
+    #[test]
+    fn placed_split_round_trips_and_interleaves() {
+        let node = node();
+        let mgr = node.offload_manager();
+        let vals: Vec<f32> = (0..256).map(|i| i as f32).collect();
+        let policy = PlacementPolicy::split(500, 16);
+        let buf = mgr.store_placed(Device::nvme(), &policy, buf_f32(&vals)).unwrap();
+        assert!(buf.is_split());
+        assert!(buf.segments().len() >= 4, "stripes should interleave, not partition");
+        let cpu = buf.elems_on(PathKind::Cpu);
+        assert!((112..=144).contains(&cpu), "cpu share {cpu} far from 50%");
+        assert_eq!(buf.elems_on(PathKind::Cpu) + buf.elems_on(PathKind::Nvme), 256);
+        assert_eq!(mgr.load_placed(&buf).unwrap().to_f32_vec(), vals);
+        mgr.free_placed(buf);
+        assert_eq!(mgr.hierarchy().stats(Device::cpu()).in_use, 0);
+        assert_eq!(mgr.hierarchy().stats(Device::nvme()).in_use, 0);
+    }
+
+    #[test]
+    fn placed_single_path_policies_behave_like_plain_stores() {
+        let node = node();
+        let mgr = node.offload_manager();
+        let vals = vec![1.5f32; 32];
+        let nv = mgr
+            .store_placed(Device::nvme(), &PlacementPolicy::all_nvme(), buf_f32(&vals))
+            .unwrap();
+        assert_eq!(nv.segments().len(), 1);
+        assert!(nv.is_offloaded());
+        let cp =
+            mgr.store_placed(Device::nvme(), &PlacementPolicy::all_cpu(), buf_f32(&vals)).unwrap();
+        assert_eq!(cp.segments().len(), 1);
+        assert!(!cp.is_offloaded());
+        // A non-NVMe target ignores the policy entirely.
+        let gpu =
+            mgr.store_placed(Device::gpu(0), &PlacementPolicy::split(500, 4), buf_f32(&vals)).unwrap();
+        assert_eq!(gpu.segments().len(), 1);
+        assert_eq!(gpu.segments()[0].buf().device(), Device::gpu(0));
+        for b in [nv, cp, gpu] {
+            mgr.free_placed(b);
+        }
+    }
+
+    #[test]
+    fn placed_ranged_load_spans_both_paths() {
+        let node = node();
+        let mgr = node.offload_manager();
+        let vals: Vec<f32> = (0..256).map(|i| (i as f32) * 0.25).collect();
+        let buf = mgr
+            .store_placed(Device::nvme(), &PlacementPolicy::split(500, 16), buf_f32(&vals))
+            .unwrap();
+        let pending = mgr.begin_load_elems_placed(&buf, 5, 100).unwrap();
+        assert!(pending.is_async(), "NVMe part of the range should be queued on the device");
+        let got = pending.wait(&mgr).unwrap();
+        assert_eq!(got.to_f32_vec(), vals[5..105].to_vec());
+        let snap = mgr.tracer.snapshot();
+        assert!(snap.cp_read_bytes > 0, "cp hop should account the DRAM share");
+        assert!(mgr.begin_load_elems_placed(&buf, 200, 100).is_err(), "bounds enforced");
+        mgr.free_placed(buf);
+    }
+
+    #[test]
+    fn placed_write_behind_lands_every_chunk_on_both_paths() {
+        let node = node();
+        let mgr = node.offload_manager();
+        let n = 128;
+        let mut buf = mgr
+            .store_placed(Device::nvme(), &PlacementPolicy::split(500, 8), buf_f32(&vec![0.0; n]))
+            .unwrap();
+        let want: Vec<f32> = (0..n).map(|i| (i as f32) * 0.5 - 7.0).collect();
+        let mut wb = WriteBehind::new(2);
+        for start in (0..n).step_by(10) {
+            let hi = (start + 10).min(n);
+            wb.submit_elems_placed(&mgr, &mut buf, start, &buf_f32(&want[start..hi])).unwrap();
+        }
+        wb.drain(&mgr).unwrap();
+        assert_eq!(mgr.load_placed(&buf).unwrap().to_f32_vec(), want);
+        assert!(mgr.tracer.snapshot().cp_write_bytes > 0);
+        mgr.free_placed(buf);
+    }
+
+    #[test]
+    fn placed_async_overwrite_visible_after_flush() {
+        let node = node();
+        let mgr = node.offload_manager();
+        let mut buf = mgr
+            .store_placed(Device::nvme(), &PlacementPolicy::split(250, 4), buf_f32(&[0.0; 64]))
+            .unwrap();
+        mgr.overwrite_async_placed(&mut buf, &buf_f32(&[4.5; 64])).unwrap();
+        mgr.flush().unwrap();
+        assert_eq!(mgr.load_placed(&buf).unwrap().to_f32_vec(), vec![4.5; 64]);
+        mgr.free_placed(buf);
+    }
+
+    #[test]
+    fn explicit_degrade_collapses_split_shard_preserving_nvme_half() {
+        let node = node();
+        let mgr = node.offload_manager();
+        let vals: Vec<f32> = (0..200).map(|i| (i as f32).sin()).collect();
+        let mut buf = mgr
+            .store_placed(Device::nvme(), &PlacementPolicy::split(250, 8), buf_f32(&vals))
+            .unwrap();
+        assert!(buf.elems_on(PathKind::Nvme) > 0);
+        node.degrade();
+        // Degradation publishes the collapse policy through the plan cell
+        // so every reader sees a whole (never torn) all-CPU policy.
+        let (version, policy) = mgr.placement_cell().read();
+        assert!(version >= 1);
+        assert_eq!(policy, PlacementPolicy::all_cpu());
+        mgr.collapse_placed(&mut buf).unwrap();
+        assert_eq!(buf.elems_on(PathKind::Nvme), 0);
+        assert!(!buf.is_offloaded());
+        // The NVMe-resident half came across bit-identical; the CPU half
+        // was never touched.
+        assert_eq!(mgr.load_placed(&buf).unwrap().to_f32_vec(), vals);
+        assert!(mgr.health().failovers > 0);
+        mgr.free_placed(buf);
+    }
+
+    #[test]
+    fn dead_device_fails_split_store_over_per_segment() {
+        let (plan, node) = faulty_node();
+        let mgr = node.offload_manager();
+        plan.kill();
+        let vals: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        // Each planned-NVMe segment fails over alone, bytes in hand; the
+        // DRAM segments never saw the device at all.
+        let buf = mgr
+            .store_placed(Device::nvme(), &PlacementPolicy::split(500, 8), buf_f32(&vals))
+            .unwrap();
+        assert_eq!(buf.elems_on(PathKind::Nvme), 0);
+        assert!(mgr.is_degraded());
+        assert_eq!(mgr.placement_cell().read().1, PlacementPolicy::all_cpu());
+        assert_eq!(mgr.load_placed(&buf).unwrap().to_f32_vec(), vals);
+        mgr.free_placed(buf);
+        // Once degraded, later placed stores collapse their plan up front.
+        let after = mgr
+            .store_placed(Device::nvme(), &PlacementPolicy::split(500, 8), buf_f32(&vals))
+            .unwrap();
+        assert_eq!(after.segments().len(), 1);
+        assert!(!after.is_offloaded());
+        mgr.free_placed(after);
+    }
+
+    #[test]
+    fn retier_moves_placement_without_changing_bits() {
+        let node = node();
+        let mgr = node.offload_manager();
+        let vals: Vec<f32> = (0..300).map(|i| 1.0 / (i as f32 + 1.0)).collect();
+        let mut buf = mgr
+            .store_placed(Device::nvme(), &PlacementPolicy::all_nvme(), buf_f32(&vals))
+            .unwrap();
+        assert_eq!(buf.elems_on(PathKind::Cpu), 0);
+        mgr.retier_placed(&mut buf, Device::nvme(), &PlacementPolicy::split(500, 16)).unwrap();
+        assert!(buf.is_split());
+        assert_eq!(mgr.load_placed(&buf).unwrap().to_f32_vec(), vals);
+        mgr.retier_placed(&mut buf, Device::nvme(), &PlacementPolicy::all_cpu()).unwrap();
+        assert_eq!(buf.elems_on(PathKind::Nvme), 0);
+        assert_eq!(mgr.load_placed(&buf).unwrap().to_f32_vec(), vals);
+        mgr.free_placed(buf);
+        assert_eq!(mgr.hierarchy().stats(Device::cpu()).in_use, 0);
+        assert_eq!(mgr.hierarchy().stats(Device::nvme()).in_use, 0);
     }
 }

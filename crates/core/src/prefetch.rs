@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 
+use zi_memory::PathKind;
 use zi_model::ParamId;
 use zi_tensor::FlatBuffer;
 use zi_trace::Counter;
@@ -106,10 +107,17 @@ pub struct PrefetchStats {
 /// reads.
 const MAX_PENDING: usize = 16;
 
-/// In-flight asynchronous shard loads keyed by parameter.
+/// In-flight asynchronous shard loads keyed by parameter *and* path.
+///
+/// Keying by `ParamId` alone conflated loads for the same parameter
+/// travelling different placement paths: after a failover or re-tier
+/// moved a shard NVMe→CPU, a demand fetch for the new CPU-resident
+/// buffer would consume the stale in-flight NVMe read — and hand back
+/// the old bytes. The `(ParamId, PathKind)` key keeps the two paths'
+/// loads independent.
 #[derive(Default)]
 pub struct Prefetcher {
-    pending: HashMap<ParamId, PendingLoad>,
+    pending: HashMap<(ParamId, PathKind), PendingLoad>,
     stats: PrefetchStats,
 }
 
@@ -123,7 +131,8 @@ impl Prefetcher {
     /// in flight. Only asynchronous sources (NVMe) are tracked; loads that
     /// resolve immediately are left for the demand path.
     pub fn prefetch(&mut self, mgr: &OffloadManager, id: ParamId, shard: &DeviceBuf) -> Result<()> {
-        if self.pending.contains_key(&id) {
+        let key = (id, shard.path());
+        if self.pending.contains_key(&key) {
             // Coalesce onto the in-flight nc-transfer: a second device
             // read for the same shard would waste bandwidth and staging,
             // and would double-count the eventual hit.
@@ -142,7 +151,7 @@ impl Prefetcher {
         }
         let pending = mgr.begin_load(shard)?;
         if pending.is_async() {
-            self.pending.insert(id, pending);
+            self.pending.insert(key, pending);
             self.stats.issued += 1;
             mgr.tracer().count(Counter::PrefetchIssued, 1);
         }
@@ -162,7 +171,7 @@ impl Prefetcher {
         id: ParamId,
         shard: &DeviceBuf,
     ) -> Result<FlatBuffer> {
-        if let Some(pending) = self.pending.remove(&id) {
+        if let Some(pending) = self.pending.remove(&(id, shard.path())) {
             self.stats.hits += 1;
             mgr.tracer().count(Counter::PrefetchHits, 1);
             if !pending.ready(mgr) {
@@ -183,9 +192,11 @@ impl Prefetcher {
         }
     }
 
-    /// True if a load for `id` is in flight.
+    /// True if a load for `id` is in flight on *any* path. Hint-side
+    /// callers only know the id; the path-precise check happens inside
+    /// [`Self::prefetch`] against the shard's current buffer.
     pub fn is_pending(&self, id: ParamId) -> bool {
-        self.pending.contains_key(&id)
+        self.pending.keys().any(|&(pid, _)| pid == id)
     }
 
     /// Effectiveness counters.
@@ -350,6 +361,49 @@ mod tests {
         assert_eq!((st.hits, st.misses, st.late), (1, 0, 1));
         assert_eq!(mgr.nvme().stats().reads - reads_before, 1);
         mgr.free(shard);
+    }
+
+    #[test]
+    fn same_id_on_a_different_path_does_not_coalesce() {
+        use std::time::Duration;
+        use zi_sync::Arc;
+        let spec = NodeMemorySpec::test_spec(1, 1 << 20, 1 << 20, 1 << 20);
+        let plan = zi_nvme::FaultPlan::new();
+        let backend =
+            Arc::new(zi_nvme::FaultyBackend::new(zi_nvme::MemBackend::new(), plan.clone()));
+        let node = crate::offload::NodeResources::with_backend(&spec, 1, backend);
+        let mgr = node.offload_manager();
+        let nvme_shard = mgr
+            .store(Device::nvme(), FlatBuffer::from_f32(DType::F32, &[6.0; 32]))
+            .unwrap();
+        // The same parameter after a re-tier: its shard now lives in
+        // CPU DRAM, with different (fresher) contents.
+        let cpu_shard = mgr
+            .store(Device::cpu(), FlatBuffer::from_f32(DType::F32, &[9.0; 32]))
+            .unwrap();
+
+        plan.delay_next_ops(1, Duration::from_millis(100));
+        let mut pf = Prefetcher::new();
+        pf.prefetch(&mgr, ParamId(0), &nvme_shard).unwrap();
+        assert!(pf.is_pending(ParamId(0)));
+        // A hint for the CPU-path buffer must not fold onto the
+        // in-flight NVMe read — the paths carry different bytes.
+        pf.prefetch(&mgr, ParamId(0), &cpu_shard).unwrap();
+        let st = pf.stats();
+        assert_eq!((st.issued, st.coalesced), (1, 0));
+
+        // Keyed by id alone, this demand fetch consumed the stale NVMe
+        // load and returned 6.0s; keyed by (id, path) it misses and
+        // reads the CPU-resident shard.
+        let data = pf.fetch(&mgr, ParamId(0), &cpu_shard).unwrap();
+        assert_eq!(data.to_f32_vec(), vec![9.0; 32]);
+        assert_eq!((pf.stats().hits, pf.stats().misses), (0, 1));
+        // The NVMe-path load is still intact for its own consumer.
+        let data = pf.fetch(&mgr, ParamId(0), &nvme_shard).unwrap();
+        assert_eq!(data.to_f32_vec(), vec![6.0; 32]);
+        assert_eq!((pf.stats().hits, pf.stats().misses), (1, 1));
+        mgr.free(nvme_shard);
+        mgr.free(cpu_shard);
     }
 
     #[test]

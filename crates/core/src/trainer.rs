@@ -1259,9 +1259,18 @@ mod recovery_tests {
     /// via coordinated abort and shrink the world) are exercised by the
     /// elasticity suite in tests/chaos.rs.
     fn spec() -> TrainSpec {
+        spec_with_permille(0)
+    }
+
+    /// Same workload with `permille`‰ of each optimizer shard placed in
+    /// CPU DRAM (0 = the classic all-NVMe layout).
+    fn spec_with_permille(permille: usize) -> TrainSpec {
         let cfg = GptConfig { vocab: 16, hidden: 8, layers: 2, heads: 2, seq: 4, seed: 31 };
-        let mut spec =
-            TrainSpec::test_default(cfg, Strategy::infinity_nvme().with_f32_params(), 1);
+        let mut spec = TrainSpec::test_default(
+            cfg,
+            Strategy::infinity_nvme().with_f32_params().with_optimizer_cpu_permille(permille),
+            1,
+        );
         spec.steps = 6;
         spec.checkpoint_every = 2;
         spec.max_recoveries = 2;
@@ -1312,6 +1321,42 @@ mod recovery_tests {
         assert!(plan.injected().dead_rejections > 0, "the device really died");
         // Restart replays the exact token stream from the checkpoint, so
         // the recovered trajectory is bit-for-bit the fault-free one.
+        assert_eq!(out.losses, reference.losses);
+        for (a, b) in out.final_params.iter().zip(&reference.final_params) {
+            assert_eq!(a.data(), b.data(), "recovered params must match exactly");
+        }
+    }
+
+    #[test]
+    fn mid_run_device_death_on_split_shards_recovers_bit_identical() {
+        // Optimizer shards straddle CPU DRAM and NVMe (250‰ CPU). A
+        // device death mid-step must not drop the NVMe-resident halves:
+        // degradation collapses every split shard onto CPU and the
+        // checkpoint restart replays the exact fault-free trajectory.
+        let spec = spec_with_permille(250);
+        let reference = train_gpt(&spec).unwrap();
+        // Splitting is a placement choice, not a numeric one.
+        assert_eq!(
+            reference.losses,
+            train_gpt(&spec_with_permille(0)).unwrap().losses,
+            "split and single-path layouts must train identically"
+        );
+
+        let quiet = FaultPlan::new();
+        let backend = Arc::new(FaultyBackend::new(MemBackend::new(), quiet.clone()));
+        train_gpt_with_policy(&spec, backend, fast_policy()).unwrap();
+        let total_ops = quiet.ops_seen();
+        assert!(total_ops > 0);
+
+        let plan = FaultPlan::new();
+        plan.kill_after_ops(total_ops * 6 / 10);
+        let backend = Arc::new(FaultyBackend::new(MemBackend::new(), plan.clone()));
+        let out = train_gpt_with_policy(&spec, backend, fast_policy()).unwrap();
+
+        assert!(out.recoveries >= 1, "death mid-run must force a restart");
+        assert!(out.degraded, "the replacement run must distrust the device");
+        assert!(out.health.failovers > 0, "degraded stores must land on CPU");
+        assert!(plan.injected().dead_rejections > 0, "the device really died");
         assert_eq!(out.losses, reference.losses);
         for (a, b) in out.final_params.iter().zip(&reference.final_params) {
             assert_eq!(a.data(), b.data(), "recovered params must match exactly");

@@ -13,10 +13,12 @@
 
 pub mod hierarchy;
 pub mod pinned;
+pub mod placement;
 pub mod pool;
 pub mod scratch;
 
 pub use hierarchy::{MemoryHierarchy, NodeMemorySpec};
 pub use pinned::{PinnedBuffer, PinnedBufferPool};
+pub use placement::{PathKind, PlacementPlan, PlacementPolicy, PlanCell, PlanSegment, RangePart};
 pub use pool::{Block, MemoryPool, PoolStats};
 pub use scratch::{ScratchPool, ScratchStats, ScratchVec};

@@ -352,14 +352,21 @@ pub fn layernorm_backward(
 }
 
 /// Row-wise numerically stable softmax (in place over the last dim).
+///
+/// The exponentials go through [`simd::exp_slice`] — the shared lane
+/// polynomial — so softmax (and [`cross_entropy`], which routes through
+/// here) is bit-identical across SIMD backends like every other kernel.
 pub fn softmax_rows(x: &mut Tensor) {
     let (_, n) = x.as_2d();
     for row in x.data_mut().chunks_exact_mut(n) {
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let mut sum = 0f32;
         for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
+            *v -= max;
+        }
+        simd::exp_slice(row);
+        let mut sum = 0f32;
+        for &v in row.iter() {
+            sum += v;
         }
         let inv = 1.0 / sum;
         for v in row.iter_mut() {

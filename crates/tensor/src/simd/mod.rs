@@ -279,6 +279,14 @@ pub fn dot4(x: &[f32], w: [&[f32]; 4]) -> [f32; 4] {
     dispatch!(x86::dot4(x, w, fma), neon::dot4(x, w, fma), scalar::dot4(x, w, fma))
 }
 
+/// Elementwise in-place `x[i] = e^{x[i]}` with the shared lane
+/// polynomial ([`scalar::exp_approx`], argument clamped to ±87): the
+/// exp kernel behind softmax and cross-entropy. Bit-identical across
+/// backends like every other kernel here.
+pub fn exp_slice(x: &mut [f32]) {
+    dispatch!(x86::exp(x), scalar::exp(x), scalar::exp(x))
+}
+
 /// Elementwise tanh-approximation GELU.
 pub fn gelu_slice(x: &[f32], out: &mut [f32]) {
     assert_eq!(x.len(), out.len(), "gelu length mismatch");

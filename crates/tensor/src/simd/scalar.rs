@@ -205,6 +205,29 @@ pub fn exp_approx(z: f32) -> f32 {
     p * scale
 }
 
+/// Argument clamp for the standalone exp kernel: keeps the
+/// range-reduction exponent `k + 127` of [`exp_approx`] inside
+/// `(0, 255)` so the exponent-bits scale never wraps. `e^±87` already
+/// brackets the representable f32 range for softmax/cross-entropy use
+/// (`e^-87 ≈ 1.6e-38`, the normal-number floor).
+const EXP_CLAMP: f32 = 87.0;
+
+/// `e^z` over the full f32 range: [`exp_approx`] with the argument
+/// clamped to ±[`EXP_CLAMP`]. The one scalar element every backend's
+/// exp kernel must reproduce bit for bit.
+#[inline(always)]
+pub fn exp_one(z: f32) -> f32 {
+    exp_approx(mirror_max(mirror_min(z, EXP_CLAMP), -EXP_CLAMP))
+}
+
+/// Elementwise in-place `x[i] = e^{x[i]}` (clamped, shared polynomial):
+/// the lane kernel behind softmax and cross-entropy.
+pub fn exp(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v = exp_one(*v);
+    }
+}
+
 /// `tanh(z/2)` via `(e^z - 1) / (e^z + 1)` with `z` clamped to ±[`TANH_CLAMP`].
 /// Division is correctly rounded on every backend, so this is exact-match.
 #[inline(always)]

@@ -398,6 +398,25 @@ unsafe fn exp_approx_v(z: __m256) -> __m256 {
     _mm256_mul_ps(p, scale)
 }
 
+/// Elementwise in-place `x[i] = e^{x[i]}`, mirror of [`scalar::exp`]
+/// (same ±87 clamp, same polynomial, plain mul/add).
+#[target_feature(enable = "avx2")]
+// SAFETY: gated on the `target_feature` above — the caller must ensure the
+// CPU supports it; `super::backend()` verifies AVX2/FMA before dispatch.
+pub unsafe fn exp(x: &mut [f32]) {
+    let n = x.len();
+    let p = x.as_mut_ptr();
+    let clamp = _mm256_set1_ps(87.0);
+    let nclamp = _mm256_sub_ps(_mm256_setzero_ps(), clamp);
+    let mut i = 0;
+    while i + LANES <= n {
+        let z = _mm256_max_ps(_mm256_min_ps(_mm256_loadu_ps(p.add(i)), clamp), nclamp);
+        _mm256_storeu_ps(p.add(i), exp_approx_v(z));
+        i += LANES;
+    }
+    scalar::exp(&mut x[i..]);
+}
+
 /// Vector mirror of [`scalar::tanh_half_approx`].
 #[inline(always)]
 // SAFETY: `inline(always)` helper with no feature gate of its own — must

@@ -315,6 +315,61 @@ fn microkernels_are_bit_identical_across_backends() {
 }
 
 #[test]
+fn exp_slice_is_bit_identical_across_backends() {
+    // Odd length exercises the vector tail; the catalogue covers both
+    // clamp edges, the subnormal-adjacent floor, zeros, and ±inf (which
+    // clamp to ±87 like the min/max lane ops define).
+    let mut x = lcg_f32s(203, 13);
+    x.extend([
+        0.0,
+        -0.0,
+        1.0,
+        -1.0,
+        86.9,
+        -86.9,
+        87.0,
+        -87.0,
+        100.0,
+        -100.0,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        -87.33, // past the natural f32 underflow point, inside the clamp
+        17.3,
+        -45.6,
+    ]);
+    assert_backend_bit_identity("exp_slice", || {
+        let mut v = x.clone();
+        simd::exp_slice(&mut v);
+        v.iter().map(|e| e.to_bits()).collect::<Vec<_>>()
+    });
+    // Sanity anchors (identity is the contract, but e^x should still be
+    // recognizably e^x).
+    let mut probe = vec![0.0f32, 1.0, -1.0];
+    with_backend(Some(Backend::Scalar), None, || simd::exp_slice(&mut probe));
+    assert_eq!(probe[0], 1.0);
+    assert!((probe[1] - std::f32::consts::E).abs() < 1e-5);
+    assert!((probe[2] - 1.0 / std::f32::consts::E).abs() < 1e-6);
+}
+
+#[test]
+fn softmax_and_cross_entropy_are_bit_identical_across_backends() {
+    // 31 columns: each row crosses the 8-wide vector body and lands a
+    // 7-element tail in exp_slice.
+    let (rows, n) = (9, 31);
+    let logits = Tensor::from_vec(&[rows, n], lcg_f32s(rows * n, 14)).unwrap();
+    let targets: Vec<usize> = (0..rows).map(|r| (r * 11) % n).collect();
+    assert_backend_bit_identity("softmax_rows", || {
+        let mut p = logits.clone();
+        ops::softmax_rows(&mut p);
+        bits(&p)
+    });
+    assert_backend_bit_identity("cross_entropy", || {
+        let (loss, grad) = ops::cross_entropy(&logits, &targets).unwrap();
+        (loss.to_bits(), bits(&grad))
+    });
+}
+
+#[test]
 fn fma_knob_defaults_to_bit_identical_canonical_path() {
     // With the knob untouched, forced-scalar and auto must agree AND
     // match the explicit fma=false path: FMA contraction is opt-in.

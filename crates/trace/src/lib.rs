@@ -70,11 +70,15 @@ pub enum Category {
     Checkpoint,
     /// Fault handling: retried I/O, fault-gate hits, degradations.
     Retry,
+    /// CPU-DRAM placement-path traffic (the cp hop): the DRAM-resident
+    /// half of a split optimizer shard moving under a placement plan,
+    /// concurrently with the nc hop.
+    CpTransfer,
 }
 
 impl Category {
     /// Every category, in declaration order.
-    pub const ALL: [Category; 8] = [
+    pub const ALL: [Category; 9] = [
         Category::NcTransfer,
         Category::CgTransfer,
         Category::Allgather,
@@ -83,6 +87,7 @@ impl Category {
         Category::OptimStep,
         Category::Checkpoint,
         Category::Retry,
+        Category::CpTransfer,
     ];
 
     /// Stable string label (used by the Chrome-trace exporter).
@@ -96,6 +101,7 @@ impl Category {
             Category::OptimStep => "OptimStep",
             Category::Checkpoint => "Checkpoint",
             Category::Retry => "Retry",
+            Category::CpTransfer => "CpTransfer",
         }
     }
 
@@ -230,6 +236,8 @@ impl Ring {
 pub enum Counter {
     NcReadBytes,
     NcWriteBytes,
+    CpReadBytes,
+    CpWriteBytes,
     CgBytes,
     GgBytes,
     RsBytes,
@@ -252,6 +260,8 @@ pub enum Counter {
 struct Counters {
     nc_read_bytes: AtomicU64,
     nc_write_bytes: AtomicU64,
+    cp_read_bytes: AtomicU64,
+    cp_write_bytes: AtomicU64,
     cg_bytes: AtomicU64,
     gg_bytes: AtomicU64,
     rs_bytes: AtomicU64,
@@ -275,6 +285,8 @@ impl Counters {
         match which {
             Counter::NcReadBytes => &self.nc_read_bytes,
             Counter::NcWriteBytes => &self.nc_write_bytes,
+            Counter::CpReadBytes => &self.cp_read_bytes,
+            Counter::CpWriteBytes => &self.cp_write_bytes,
             Counter::CgBytes => &self.cg_bytes,
             Counter::GgBytes => &self.gg_bytes,
             Counter::RsBytes => &self.rs_bytes,
@@ -300,6 +312,10 @@ pub struct CounterSnapshot {
     pub nc_read_bytes: u64,
     /// Bytes written CPU→NVMe (nc hop).
     pub nc_write_bytes: u64,
+    /// Bytes read from the CPU-DRAM placement path (cp hop).
+    pub cp_read_bytes: u64,
+    /// Bytes written to the CPU-DRAM placement path (cp hop).
+    pub cp_write_bytes: u64,
     /// Bytes uploaded CPU→GPU (cg hop).
     pub cg_bytes: u64,
     /// Allgather-family collective bytes received (gg hop).
@@ -475,6 +491,8 @@ impl Tracer {
         CounterSnapshot {
             nc_read_bytes: ld(&c.nc_read_bytes),
             nc_write_bytes: ld(&c.nc_write_bytes),
+            cp_read_bytes: ld(&c.cp_read_bytes),
+            cp_write_bytes: ld(&c.cp_write_bytes),
             cg_bytes: ld(&c.cg_bytes),
             gg_bytes: ld(&c.gg_bytes),
             rs_bytes: ld(&c.rs_bytes),

@@ -1,7 +1,7 @@
 //! Per-step overlap-efficiency and bandwidth report.
 //!
 //! Folds a flat event stream into the numbers the paper's overlap
-//! argument is made of. For each hop `h` (nc, cg, gg):
+//! argument is made of. For each hop `h` (nc, cg, gg, cp):
 //!
 //! * `busy(h)` — wall-clock length of the *union* of `h`'s span
 //!   intervals across all threads: the time at least one `h` transfer
@@ -27,7 +27,7 @@ use crate::{Category, Event, STEP_SPAN};
 /// Metrics for one hop over one window.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct HopReport {
-    /// Hop name: `"nc"`, `"cg"`, or `"gg"`.
+    /// Hop name: `"nc"`, `"cg"`, `"gg"`, or `"cp"`.
     pub hop: &'static str,
     /// Payload bytes moved by spans overlapping the window.
     pub bytes: u64,
@@ -68,8 +68,9 @@ pub struct StepReport {
     pub end_ns: u64,
     /// Length of the compute union inside the window, ns.
     pub compute_ns: u64,
-    /// Per-hop metrics clipped to the window, in `[nc, cg, gg]` order.
-    pub hops: [HopReport; 3],
+    /// Per-hop metrics clipped to the window, in `[nc, cg, gg, cp]`
+    /// order.
+    pub hops: [HopReport; 4],
 }
 
 /// The full report: one entry per step plus run totals.
@@ -77,16 +78,20 @@ pub struct StepReport {
 pub struct OverlapReport {
     /// Per-step metrics, ordered by step number.
     pub steps: Vec<StepReport>,
-    /// Whole-run metrics (unclipped), in `[nc, cg, gg]` order.
-    pub totals: [HopReport; 3],
+    /// Whole-run metrics (unclipped), in `[nc, cg, gg, cp]` order.
+    pub totals: [HopReport; 4],
     /// Whole-run compute union length, ns.
     pub compute_ns: u64,
 }
 
-const HOPS: [(&str, &[Category]); 3] = [
+// cp (the CPU-DRAM placement path) is appended last so the established
+// positions — totals[0] = nc in particular, which `zi-core`'s telemetry
+// cursor reads — stay valid.
+const HOPS: [(&str, &[Category]); 4] = [
     ("nc", &[Category::NcTransfer]),
     ("cg", &[Category::CgTransfer]),
     ("gg", &[Category::Allgather, Category::ReduceScatter]),
+    ("cp", &[Category::CpTransfer]),
 ];
 
 fn is_envelope(e: &Event) -> bool {
@@ -204,11 +209,12 @@ impl OverlapReport {
                     .collect()
             })
             .collect();
-        let mk = |window: Option<(u64, u64)>| -> [HopReport; 3] {
+        let mk = |window: Option<(u64, u64)>| -> [HopReport; 4] {
             [
                 hop_report(HOPS[0].0, &hop_spans[0], &compute, window),
                 hop_report(HOPS[1].0, &hop_spans[1], &compute, window),
                 hop_report(HOPS[2].0, &hop_spans[2], &compute, window),
+                hop_report(HOPS[3].0, &hop_spans[3], &compute, window),
             ]
         };
         let steps = windows
@@ -237,7 +243,7 @@ impl OverlapReport {
             "step", "hop", "bytes", "busy(ms)", "hidden(ms)", "eff", "MB/s"
         );
         out.push_str(&header);
-        let push_hops = |label: &str, hops: &[HopReport; 3], out: &mut String| {
+        let push_hops = |label: &str, hops: &[HopReport; 4], out: &mut String| {
             for h in hops {
                 out.push_str(&format!(
                     "{:>6} {:>4} {:>12} {:>10.3} {:>10.3} {:>6.2} {:>10.1}\n",

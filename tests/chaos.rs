@@ -576,6 +576,49 @@ mod orchestrator {
             .expect("outcome must be consistent with the armed schedule");
     }
 
+    /// The same-window composition on a *split* optimizer placement
+    /// (250‰ of every NVMe-tier shard in CPU DRAM): the device death
+    /// lands while the pipelined step is streaming the CPU and NVMe
+    /// halves of each shard concurrently, and a rank kill arms in the
+    /// same window. The split must not add failure modes: the invariant
+    /// class stays exactly the single-path one — bounded typed
+    /// recovery, a world no smaller than the kills allow, a session the
+    /// event log accepts — and the degraded survivors keep training,
+    /// which is only possible if the NVMe-resident halves were
+    /// collapsed onto CPU rather than dropped. (Bit-identical resume of
+    /// a split shard is pinned by the single-rank trainer regression
+    /// test, where no world shrink muddies the trajectory.)
+    #[test]
+    fn device_death_and_rank_kill_with_split_placement_stay_bounded() {
+        let mut spec = grow_spec();
+        spec.strategy = spec.strategy.with_optimizer_cpu_permille(250);
+        spec.max_recoveries = 2;
+
+        let plan = ChaosPlan::new();
+        plan.schedule(3, ChaosEvent::DeviceFail);
+        plan.schedule(3, ChaosEvent::RankKill { rank: 1 });
+        let out = train_gpt_env(&spec, chaos_env(&plan)).expect("split combined-window run");
+
+        assert_eq!(out.losses.len(), spec.steps, "every step must complete");
+        assert!(out.degraded, "the device really died");
+        assert!(
+            (1..=2).contains(&out.recoveries),
+            "two disruptions, at most two recoveries: {}",
+            out.recoveries
+        );
+        assert!(
+            matches!(out.final_world, 3 | 4),
+            "one kill shrinks by at most one rank: {}",
+            out.final_world
+        );
+        assert!(
+            out.health.failovers > 0,
+            "post-death stores from split shards must land on CPU"
+        );
+        check_outcome(&plan.log(), &summarize(&spec, &out))
+            .expect("outcome must be consistent with the armed schedule");
+    }
+
     /// One seed, two sessions: the schedule, the fired event sequence
     /// and the loss trajectory all replay identically — the property the
     /// soak below leans on when it prints `ZI_CHAOS_SEED` on failure.
